@@ -1,0 +1,30 @@
+"""Section 3.2-III — DNS poisoning vs injection.
+
+Paper shape asserted: for every censorious resolver traced in MTNL and
+BSNL, the manipulated answer arrives only when the query's TTL reaches
+the resolver itself (poisoning); the synthetic GFW-style control shows
+what injection would have looked like (an answer from mid-path).
+"""
+
+from repro.experiments import dns_mechanism
+
+from .conftest import run_once
+
+
+def test_dns_mechanism(benchmark, world, record_output):
+    result = run_once(benchmark, lambda: dns_mechanism.run(world))
+    record_output("dns_mechanism", result.render())
+
+    for isp in ("mtnl", "bsnl"):
+        traces = result.traces[isp]
+        assert traces, f"no censorious resolvers traced in {isp}"
+        assert result.mechanisms(isp) == {"poisoning"}
+        for trace in traces:
+            assert trace.answered
+            assert trace.answer_hop == trace.resolver_hop
+
+    # The control: the tracer distinguishes injection when it exists.
+    injector = result.injector_trace
+    assert injector is not None
+    assert injector.mechanism == "injection"
+    assert injector.answer_hop < injector.resolver_hop

@@ -1,0 +1,47 @@
+"""Section 5 — anti-censorship effectiveness.
+
+Paper shape asserted: every middlebox family falls to its documented
+evasions (case fudging + client firewall for the wiretap ISPs,
+whitespace fudging for the overt IM, the trailing-Host decoy for the
+covert IM), the per-family negatives hold, and every censored site in
+every ISP is reachable by at least one proxy-free strategy.
+"""
+
+from repro.experiments import evasion_matrix
+
+from .conftest import run_once
+
+
+def test_evasion(benchmark, world, record_output):
+    result = run_once(benchmark,
+                      lambda: evasion_matrix.run(world, sites_per_isp=5))
+    record_output("evasion", result.render())
+
+    assert not result.skipped, f"no censored sites for {result.skipped}"
+
+    matrices = result.matrices
+
+    # Wiretap ISPs (Airtel, Jio): case fudging and the FIN/RST-dropping
+    # firewall both work; whitespace fudging does not.
+    for isp in ("airtel", "jio"):
+        assert matrices[isp].success_rate("host-keyword-case") >= 0.8, isp
+        assert matrices[isp].success_rate("drop-fin-rst") >= 0.8, isp
+        assert matrices[isp].success_rate("fragmented-get") >= 0.8, isp
+        assert matrices[isp].success_rate("host-value-whitespace") <= 0.2, isp
+
+    # Overt IM (Idea): whitespace fudging works; case fudging and the
+    # client firewall are useless against an in-path box.
+    assert matrices["idea"].success_rate("host-value-whitespace") >= 0.8
+    assert matrices["idea"].success_rate("host-value-tab") >= 0.8
+    assert matrices["idea"].success_rate("host-keyword-case") <= 0.2
+    assert matrices["idea"].success_rate("drop-fin-rst") <= 0.2
+
+    # Covert IM (Vodafone): only the trailing-Host decoy of the
+    # request-crafting family works.
+    assert matrices["vodafone"].success_rate(
+        "trailing-uncensored-host") >= 0.8
+    assert matrices["vodafone"].success_rate("host-value-whitespace") <= 0.2
+
+    # The headline: every censored site evaded in every ISP.
+    for isp in matrices:
+        assert result.all_sites_evaded(isp), isp

@@ -1,0 +1,44 @@
+"""Figure 2 — consistency of DNS resolvers in MTNL and BSNL.
+
+Paper shape asserted: both government ISPs run poisoned resolvers; MTNL
+massively more (hundreds vs a handful), with far higher coverage and
+per-site consistency; sites are blocked by a larger share of MTNL's
+poisoned resolvers than BSNL's.
+"""
+
+from repro.experiments import fig2_dns
+
+from .conftest import run_once
+
+
+def test_fig2_dns_consistency(benchmark, world, domains, record_output):
+    result = run_once(benchmark, lambda: fig2_dns.run(world, domains))
+    text = result.render()
+    for isp in result.scans:
+        text += "\n\n" + result.render_series(isp, limit=15)
+    record_output("fig2_dns_consistency", text)
+
+    mtnl = result.scans["mtnl"]
+    bsnl = result.scans["bsnl"]
+
+    # Scale of the deployments (paper: 383 vs 17 poisoned).
+    assert len(mtnl.censorious) > 300
+    assert 5 <= len(bsnl.censorious) <= 40
+    assert len(mtnl.censorious) > 10 * len(bsnl.censorious)
+
+    # Coverage: MTNL high, BSNL low (paper: 77% vs 9.3%).
+    assert mtnl.coverage > 0.6
+    assert bsnl.coverage < 0.2
+
+    # Consistency: MTNL ~42%, BSNL ~7.5%.
+    assert 0.30 < result.consistency["mtnl"] < 0.55
+    assert result.consistency["bsnl"] < 0.20
+    assert result.consistency["mtnl"] > 3 * result.consistency["bsnl"]
+
+    # The Figure 2 series: MTNL's per-site blocking percentages
+    # dominate BSNL's on average.
+    mtnl_avg = sum(p for _, p in result.series["mtnl"]) / max(
+        1, len(result.series["mtnl"]))
+    bsnl_avg = sum(p for _, p in result.series["bsnl"]) / max(
+        1, len(result.series["bsnl"]))
+    assert mtnl_avg > bsnl_avg

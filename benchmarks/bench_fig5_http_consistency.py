@@ -1,0 +1,37 @@
+"""Figure 5 — consistency of HTTP middleboxes (Airtel/Vodafone/Idea).
+
+Paper shape asserted: Idea's boxes agree on ~3/4 of their blocklist
+(76.8%) while Airtel's and Vodafone's agree on only ~an eighth
+(12.3% / 11.6%) — the same site is blocked on most Idea paths but only
+a few Airtel/Vodafone ones.
+"""
+
+from repro.experiments import fig5_http
+
+from .conftest import run_once
+
+
+def test_fig5_http_consistency(benchmark, world, domains, record_output):
+    result = run_once(benchmark, lambda: fig5_http.run(world, domains))
+    text = result.render()
+    for isp in result.campaigns:
+        text += "\n\n" + result.render_series(isp, limit=15)
+    record_output("fig5_http_consistency", text)
+
+    idea = result.consistency("idea")
+    airtel = result.consistency("airtel")
+    vodafone = result.consistency("vodafone")
+
+    # Idea is in a different league.
+    assert idea > 0.6
+    assert idea > 3 * airtel
+    assert idea > 3 * vodafone
+
+    # Airtel and Vodafone sit in the same low band.
+    assert 0.05 < airtel < 0.30
+    assert 0.05 < vodafone < 0.30
+
+    # Per the metric's definition every fraction lies in (0, 1].
+    for isp, campaign in result.campaigns.items():
+        for fraction in campaign.per_site_fractions().values():
+            assert 0.0 < fraction <= 1.0

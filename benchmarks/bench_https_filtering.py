@@ -1,0 +1,26 @@
+"""Section 4.2 closing remark — HTTPS filtering is really DNS.
+
+Paper shape asserted: HTTPS PBWs load fine in every HTTP-middlebox ISP
+(port-443 flows carry nothing the boxes match); the only filtering
+instances occur in the DNS-poisoning ISPs and every one of them traces
+back to a manipulated resolution.
+"""
+
+from repro.experiments import https_filtering
+
+from .conftest import run_once
+
+
+def test_https_filtering(benchmark, world, record_output):
+    result = run_once(benchmark, lambda: https_filtering.run(world))
+    record_output("https_filtering", result.render())
+
+    # The HTTP-middlebox ISPs never interfere with HTTPS.
+    for isp in ("airtel", "idea", "vodafone", "jio"):
+        assert result.instances(isp) == [], isp
+
+    # The DNS-poisoning ISP shows a handful of instances...
+    mtnl = result.instances("mtnl")
+    assert mtnl, "expected some DNS-caused HTTPS blocking in MTNL"
+    # ...and every single one is DNS-caused.
+    assert result.all_instances_dns_caused

@@ -1,0 +1,35 @@
+"""Section 6.3 — middlebox idiosyncrasies.
+
+Paper shape asserted: every box inspects TCP 80 only; Airtel's
+injections carry the fixed IP-ID 242 while every other ISP's vary;
+dead (parked) sites remain censored (stale blocklists); keep-alive
+packets restart the flow-state timer.
+"""
+
+from repro.experiments import idiosyncrasies
+
+from .conftest import run_once
+
+
+def test_idiosyncrasies(benchmark, world, record_output):
+    result = run_once(benchmark, lambda: idiosyncrasies.run(world))
+    record_output("idiosyncrasies", result.render())
+
+    reports = result.reports
+
+    for isp, report in reports.items():
+        if report.port80_censored is None:
+            continue  # no controlled path found for this ISP
+        assert report.port_80_only, isp
+        assert report.keepalive_extends_flow, isp
+
+    assert reports["airtel"].fixed_ip_id == 242
+    for isp in ("idea", "vodafone", "jio"):
+        assert reports[isp].fixed_ip_id is None, isp
+
+    # Stale blocklists: the ISPs with meaningful coverage still censor
+    # a share of their dead entries.
+    for isp in ("airtel", "idea"):
+        report = reports[isp]
+        assert report.dead_sites_on_blocklist > 0, isp
+        assert report.dead_sites_still_blocked > 0, isp

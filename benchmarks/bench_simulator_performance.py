@@ -1,0 +1,84 @@
+"""Simulator performance characteristics.
+
+Not a paper artifact — these benchmarks characterize the substrate
+itself (the one part of this repository where wall-clock time *is* the
+result): world construction, packet-level fetch throughput, express
+probe throughput, and resolver-scan throughput.  Unlike the experiment
+benches these run multiple rounds for stable statistics.
+"""
+
+import pytest
+
+from repro.core.measure import canonical_payload, express_http_probe
+from repro.core.measure.fastprobe import express_dns_probe
+from repro.httpsim import fetch_url
+from repro.isps import build_world
+
+
+@pytest.fixture(scope="module")
+def perf_world():
+    return build_world(seed=99, scale=0.25)
+
+
+def test_world_build_small(benchmark):
+    world = benchmark.pedantic(
+        lambda: build_world(seed=7, scale=0.1), rounds=3, iterations=1)
+    assert len(world.network.nodes) > 100
+
+
+def test_packet_level_fetch_throughput(benchmark, perf_world):
+    world = perf_world
+    client = world.client_of("nkn")
+    blocked = world.blocklists.all_blocked_domains()
+    sites = [s for s in world.corpus
+             if s.domain not in blocked and s.hosting == "normal"
+             and not s.https][:20]
+    targets = [(world.hosting.ip_for(s.domain, "in"), s.domain)
+               for s in sites]
+
+    def fetch_batch():
+        ok = 0
+        for ip, domain in targets:
+            result = fetch_url(world.network, client, ip, domain)
+            ok += bool(result.ok)
+        return ok
+
+    ok = benchmark.pedantic(fetch_batch, rounds=5, iterations=1)
+    assert ok == len(targets)
+
+
+def test_express_http_probe_throughput(benchmark, perf_world):
+    world = perf_world
+    client = world.client_of("idea")
+    domains = world.corpus.domains()
+    payloads = [(world.hosting.ip_for(d, "in"), canonical_payload(d))
+                for d in domains]
+
+    def probe_all():
+        censored = 0
+        for ip, payload in payloads:
+            verdict = express_http_probe(world.network, client, ip, payload)
+            censored += verdict.censored
+        return censored
+
+    censored = benchmark.pedantic(probe_all, rounds=3, iterations=1)
+    assert censored > 0
+
+
+def test_express_dns_probe_throughput(benchmark, perf_world):
+    world = perf_world
+    deployment = world.isp("mtnl")
+    client = deployment.client
+    resolver_ip = deployment.default_resolver_ip
+    domains = world.corpus.domains()
+
+    def resolve_all():
+        answered = 0
+        for domain in domains:
+            answer = express_dns_probe(world.network, client,
+                                       resolver_ip, domain)
+            answered += answer.responded
+        return answered
+
+    answered = benchmark.pedantic(resolve_all, rounds=3, iterations=1)
+    assert answered == len(domains)

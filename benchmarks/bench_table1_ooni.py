@@ -1,0 +1,39 @@
+"""Table 1 — OONI precision/recall in five ISPs.
+
+Paper shape asserted: OONI is inaccurate everywhere; the TCP column is
+(0, 0) for every ISP; DNS anomalies are only *real* in MTNL; and HTTP
+censorship is detected far better in covert-reset Vodafone than in
+block-page ISPs.
+"""
+
+from repro.experiments import table1_ooni
+
+from .conftest import run_once
+
+
+def test_table1_ooni(benchmark, world, domains, record_output):
+    result = run_once(benchmark, lambda: table1_ooni.run(world, domains))
+    record_output("table1_ooni", result.render())
+
+    rows = {row.isp: row for row in result.rows}
+
+    # TCP censorship is never (correctly) reported anywhere (§3.3).
+    for row in rows.values():
+        assert row.tcp.true_positives == 0
+
+    # Only MTNL has genuine DNS censorship.
+    assert rows["mtnl"].dns.true_positives > 0
+    for isp in ("airtel", "idea", "vodafone", "jio"):
+        assert rows[isp].dns.true_positives == 0
+        # ...yet OONI still flags dns anomalies there (CDN confounder).
+        assert len(result.runs[isp].flagged("dns")) > 0
+
+    # OONI is imprecise: every ISP's total precision is well below 1.
+    for row in rows.values():
+        if row.total.detected:
+            assert row.total.precision < 0.9
+
+    # MTNL shows both DNS and HTTP censorship (own resolvers + transit
+    # collateral), the paper's distinctive MTNL row.
+    assert rows["mtnl"].http.actual > 0
+    assert rows["mtnl"].dns.actual > 0

@@ -1,0 +1,43 @@
+"""Table 2 — HTTP filtering coverage, middlebox types, blocked counts.
+
+Paper shape asserted: Idea's coverage dominates (>90% both views);
+Vodafone's is small and collapses further from outside; Jio is
+invisible from outside entirely; Airtel/Jio are wiretap boxes while
+Idea/Vodafone are interceptive; and Vodafone blocks the longest list
+while Jio blocks the shortest.
+"""
+
+from repro.experiments import table2_http
+
+from .conftest import run_once
+
+
+def test_table2_http_coverage(benchmark, world, domains, record_output):
+    result = run_once(benchmark, lambda: table2_http.run(world, domains))
+    record_output("table2_http_coverage", result.render())
+
+    rows = {row.isp: row for row in result.rows}
+
+    # Coverage ordering (inside view): Idea >> Airtel >> Vodafone, Jio.
+    assert rows["idea"].inside_coverage > 0.8
+    assert 0.6 < rows["airtel"].inside_coverage < 0.9
+    assert rows["vodafone"].inside_coverage < 0.25
+    assert rows["jio"].inside_coverage < 0.15
+
+    # Outside view: never better than inside; Jio exactly invisible.
+    for isp, row in rows.items():
+        assert row.outside_coverage <= row.inside_coverage + 0.05
+    assert rows["jio"].outside_coverage == 0.0
+    assert rows["vodafone"].outside_coverage < rows["vodafone"].inside_coverage
+
+    # Middlebox families.
+    assert rows["airtel"].middlebox_type == "WM"
+    assert rows["jio"].middlebox_type == "WM"
+    assert rows["idea"].middlebox_type == "IM"
+    assert rows["vodafone"].middlebox_type == "IM"
+
+    # Blocked-list size ordering: Vodafone > Idea > Airtel > Jio.
+    assert (rows["vodafone"].websites_blocked
+            > rows["idea"].websites_blocked
+            > rows["airtel"].websites_blocked
+            > rows["jio"].websites_blocked)

@@ -1,0 +1,36 @@
+"""Table 3 — collateral damage within Indian ISPs.
+
+Paper shape asserted: every stub suffers censorship caused purely by
+its transit neighbours; NKN's damage comes overwhelmingly from
+Vodafone, Sify's / MTNL's / BSNL's from TATA, Siti's from Airtel
+alone.
+"""
+
+from repro.experiments import table3_collateral
+
+from .conftest import run_once
+
+
+def test_table3_collateral(benchmark, world, domains, record_output):
+    result = run_once(benchmark,
+                      lambda: table3_collateral.run(world, domains))
+    record_output("table3_collateral", result.render())
+
+    # NKN is mostly hurt by Vodafone.
+    assert result.dominant_neighbour("nkn") == "vodafone"
+    nkn = result.counts("nkn")
+    assert nkn.get("vodafone", 0) > nkn.get("tata", 0)
+
+    # Sify, MTNL and BSNL are mostly hurt by TATA.
+    for stub in ("sify", "mtnl", "bsnl"):
+        assert result.dominant_neighbour(stub) == "tata", stub
+        counts = result.counts(stub)
+        assert counts.get("tata", 0) > counts.get("airtel", 0)
+
+    # Siti's damage comes from Airtel alone.
+    assert set(result.counts("siti")) == {"airtel"}
+    assert result.counts("siti")["airtel"] > 0
+
+    # No stub ever censors with its own infrastructure.
+    for stub, report in result.reports.items():
+        assert stub not in report.by_neighbour

@@ -1,0 +1,25 @@
+"""Section 3.3 — TCP/IP filtering (a negative result).
+
+Paper shape asserted: in no ISP does any Tor-reachable PBW fail all
+five spaced handshake attempts — no network/transport-header filtering
+exists, in the paper or here.
+"""
+
+from repro.experiments import tcpip_filtering
+
+from .conftest import run_once
+
+
+def test_tcpip_filtering(benchmark, world, record_output):
+    result = run_once(benchmark,
+                      lambda: tcpip_filtering.run(world, sites_per_isp=40))
+    record_output("tcpip_filtering", result.render())
+
+    assert not result.any_filtering
+    for isp, report in result.reports.items():
+        assert report.successes, f"{isp}: nothing tested"
+        assert report.filtered_domains() == set(), isp
+        # Handshakes to HTTP-censored sites still succeed: HTTP
+        # middleboxes do not interfere below the request layer.
+        for domain, wins in report.successes.items():
+            assert wins == 5, (isp, domain)

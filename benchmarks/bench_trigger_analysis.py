@@ -1,0 +1,28 @@
+"""Section 3.4 — what triggers censorship.
+
+Paper shape asserted: in every HTTP-censoring ISP the middlebox
+inspects requests only (possibility 1), keyed solely on the Host field
+of the GET — the TTL n−1 request draws censorship, some crafted header
+bypasses the box while fetching real content, and the blocked name at
+other offsets triggers nothing.
+"""
+
+from repro.experiments import trigger_analysis
+
+from .conftest import run_once
+
+
+def test_trigger_analysis(benchmark, world, record_output):
+    result = run_once(benchmark, lambda: trigger_analysis.run(world))
+    record_output("trigger_analysis", result.render())
+
+    assert not result.skipped, f"no censored path for {result.skipped}"
+    for isp, analysis in result.analyses.items():
+        assert analysis.censored_at_ttl_n_minus_1, isp
+        assert analysis.censored_at_ttl_n, isp
+        assert analysis.possibility_2_ruled_out, isp
+        assert analysis.possibility_3_ruled_out, isp
+        assert analysis.host_field_triggers, isp
+        assert not analysis.domain_in_path_triggers, isp
+        assert not analysis.domain_in_other_header_triggers, isp
+        assert "request-only" in analysis.conclusion, isp

@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""Collateral damage: censorship you never asked for.
+
+NKN, Sify and Siti censor nothing themselves, yet their users see
+blocked pages — their traffic transits censorious neighbours
+(section 4.3, Table 3).  This example measures the damage from each
+stub ISP and attributes every event to the responsible neighbour using
+the notification fingerprints of section 6.1, then shows one concrete
+blocked fetch with the foreign ISP's fingerprint in the page.
+
+Run:  python examples/collateral_damage.py [--scale 0.25]
+"""
+
+import argparse
+
+from repro.core.measure import (
+    measure_collateral_express,
+    measure_collateral_fetch,
+)
+from repro.core.vantage import VantagePoint
+from repro.isps import COLLATERAL_ISPS, build_world
+from repro.middlebox import identify_isp, looks_like_block_page
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=1808)
+    args = parser.parse_args()
+
+    print(f"Building world (seed={args.seed}, scale={args.scale})...")
+    world = build_world(seed=args.seed, scale=args.scale)
+
+    print("\nStub ISP        damage by neighbour")
+    print("-" * 50)
+    reports = {}
+    for stub in COLLATERAL_ISPS:
+        report = measure_collateral_express(world, stub)
+        reports[stub] = report
+        damage = ", ".join(f"{n} ({c})" for n, c in
+                           sorted(report.counts().items(),
+                                  key=lambda kv: -kv[1])) or "none"
+        print(f"{stub:14s}  {damage}")
+
+    # Show one real fetch with fingerprint attribution, packet-level.
+    stub = "sify"
+    report = reports[stub]
+    tata_blocked = sorted(report.by_neighbour.get("tata", set()))
+    if tata_blocked:
+        domain = tata_blocked[0]
+        print(f"\nFetching {domain} from inside {stub} "
+              f"(a non-censoring ISP)...")
+        vantage = VantagePoint.inside(world, stub)
+        fetched = measure_collateral_fetch(world, stub, [domain])
+        result = vantage.fetch_domain(domain)
+        response = result.first_response if result else None
+        if response is not None and looks_like_block_page(response.body):
+            culprit = identify_isp(response.body)
+            print(f"  -> block page received; fingerprint identifies: "
+                  f"{culprit!r}")
+            print(f"  -> fetch-based attribution agrees: "
+                  f"{fetched.counts()}")
+        else:
+            print("  -> the wiretap box lost this race; "
+                  "attribution still holds:", fetched.counts())
+
+    print("\nNote: the stubs' own infrastructure is clean — every single "
+          "event is caused by a transit neighbour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""Anti-censorship without proxies: the section-5 strategy matrix.
+
+Finds censored sites in each HTTP-censoring ISP and runs every
+proxy-free evasion strategy against them, printing the effectiveness
+matrix and the per-site winning strategy — reproducing the paper's
+claim that every blocked site is reachable in every ISP.
+
+Run:  python examples/evade_censorship.py [--scale 0.25] [--sites 3]
+"""
+
+import argparse
+
+from repro.core.evasion import STRATEGIES
+from repro.experiments import evasion_matrix
+from repro.isps import build_world
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=1808)
+    parser.add_argument("--sites", type=int, default=3)
+    args = parser.parse_args()
+
+    print(f"Building world (seed={args.seed}, scale={args.scale})...")
+    world = build_world(seed=args.seed, scale=args.scale)
+
+    print("\nStrategy catalogue:")
+    for strat in STRATEGIES:
+        print(f"  {strat.name:26s} [{strat.kind}] {strat.description}")
+
+    print("\nRunning the matrix (this fetches each censored site once "
+          "per strategy)...\n")
+    result = evasion_matrix.run(world, sites_per_isp=args.sites)
+    print(result.render())
+
+    print("\nPer-site winning strategies:")
+    for isp, winners in result.winners.items():
+        for domain, winner in winners.items():
+            print(f"  {isp:9s} {domain:34s} -> {winner or 'NOT EVADED'}")
+
+    all_evaded = all(result.all_sites_evaded(isp)
+                     for isp in result.matrices)
+    print(f"\nEvery censored site evaded in every ISP: {all_evaded}")
+
+
+if __name__ == "__main__":
+    main()

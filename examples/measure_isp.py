@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""The full measurement pipeline against one ISP, end to end.
+
+Reproduces the paper's methodology for a single network operator:
+
+1. detect which PBWs are censored (authors' semi-automatic detector);
+2. determine the mechanism (DNS heuristics, TCP/IP test, HTTP);
+3. locate the middlebox with Iterative Network Tracing;
+4. classify it (wiretap vs interceptive, overt vs covert) via the
+   controlled-remote-server experiment;
+5. probe statefulness;
+6. measure coverage and consistency.
+
+Run:  python examples/measure_isp.py [isp] [--scale 0.2]
+      (isp defaults to "idea"; try airtel, vodafone, jio, mtnl)
+"""
+
+import argparse
+
+from repro.core.measure import (
+    canonical_payload,
+    classify_middlebox,
+    detect_dns_filtering,
+    detect_tcpip_filtering,
+    express_http_probe,
+    find_controlled_target,
+    http_iterative_trace,
+    measure_coverage_inside,
+    probe_statefulness,
+    run_detector,
+)
+from repro.core.vantage import VantagePoint
+from repro.isps import PROFILES, build_world
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("isp", nargs="?", default="idea",
+                        choices=sorted(PROFILES))
+    parser.add_argument("--scale", type=float, default=0.2)
+    parser.add_argument("--seed", type=int, default=1808)
+    parser.add_argument("--sample", type=int, default=40,
+                        help="PBWs to run the detector over")
+    args = parser.parse_args()
+
+    print(f"Building world (seed={args.seed}, scale={args.scale})...")
+    world = build_world(seed=args.seed, scale=args.scale)
+    isp = args.isp
+    client = world.client_of(isp)
+
+    # Step 1: detection — candidate list biased toward this ISP's
+    # likely targets plus a clean control sample.
+    candidates = sorted(world.blocklists.http.get(isp, ()))[:args.sample]
+    clean = [s.domain for s in world.corpus
+             if s.domain not in world.blocklists.all_blocked_domains()
+             ][:args.sample // 4]
+    print(f"\n[1] Running the semi-automatic detector over "
+          f"{len(candidates) + len(clean)} sites...")
+    detector = run_detector(world, isp, candidates + clean)
+    censored = sorted(detector.censored_domains())
+    print(f"    censored: {len(censored)}  "
+          f"(auto-flagged {detector.flagged_count}, of which "
+          f"{detector.cleared_after_manual} cleared by manual check)")
+    for domain in censored[:5]:
+        print(f"      {domain}: {detector.outcomes[domain].notes}")
+
+    # Step 2: mechanism checks.
+    print("\n[2] Mechanism checks...")
+    dns_run = detect_dns_filtering(world, isp,
+                                   (candidates + clean)[:args.sample])
+    print(f"    DNS filtering: {len(dns_run.censored_domains())} domains"
+          f" (poison addresses: {sorted(dns_run.poison_addresses())})")
+    tcp_report = detect_tcpip_filtering(world, isp, candidates[:6])
+    print(f"    TCP/IP filtering: "
+          f"{'YES' if tcp_report.any_filtering else 'none'}")
+
+    http_censored = [d for d in censored
+                     if detector.outcomes[d].mechanism == "http"]
+    if not http_censored:
+        print("\nNo HTTP censorship observed from this client; done.")
+        return
+
+    # Step 3: locate the middlebox.
+    domain = http_censored[0]
+    dst_ip = world.hosting.ip_for(domain, "in")
+    print(f"\n[3] Iterative Network Tracing toward {domain} ({dst_ip})...")
+    trace = http_iterative_trace(world, client, dst_ip, domain)
+    print(f"    traceroute hops: "
+          f"{[h or '*' for h in trace.traceroute.hops]}")
+    print(f"    censorship first appears at TTL {trace.censor_hop} "
+          f"(router: {trace.censor_hop_ip or 'anonymized *'})")
+
+    # Step 4: classify via a controlled remote server.
+    print("\n[4] Controlled-remote-server classification...")
+    server, ctl_domain = find_controlled_target(
+        world, isp, sorted(world.blocklists.http.get(isp, ())))
+    if server is None:
+        print("    no controlled host sits behind a box; skipping")
+    else:
+        classification = classify_middlebox(world, isp, ctl_domain,
+                                            server_host=server)
+        print(f"    kind: {classification.kind} "
+              f"({'overt' if classification.overt else 'covert'})")
+        print(f"    server saw the request: "
+              f"{classification.server_saw_request}")
+        print(f"    server got foreign-seq RST: "
+              f"{classification.server_got_foreign_rst}")
+        if classification.fixed_ip_id is not None:
+            print(f"    fixed IP-ID on injected packets: "
+                  f"{classification.fixed_ip_id}")
+
+        # Step 5: statefulness.
+        print("\n[5] Statefulness probes...")
+        report = probe_statefulness(world, isp, ctl_domain, server.ip)
+        print(f"    stateful (handshake-gated): {report.stateful}")
+
+    # Step 6: coverage & consistency.
+    print("\n[6] Coverage/consistency campaign (Alexa destinations)...")
+    campaign = measure_coverage_inside(world, isp)
+    print(f"    poisoned paths: {campaign.n_poisoned}/{campaign.n_paths} "
+          f"(coverage {campaign.coverage:.1%})")
+    print(f"    consistency: {campaign.consistency:.1%}")
+    print(f"    websites blocked on >=1 path: "
+          f"{len(campaign.blocked_union())}")
+
+
+if __name__ == "__main__":
+    main()

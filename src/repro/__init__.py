@@ -1,0 +1,39 @@
+"""repro — reproduction of "Where The Light Gets In: Analyzing Web
+Censorship Mechanisms in India" (IMC 2018) on a deterministic
+packet-level network simulator.
+
+Quickstart::
+
+    from repro.isps import build_world
+    from repro.core.vantage import VantagePoint
+
+    world = build_world(scale=0.2)           # a small India-in-a-box
+    client = VantagePoint.inside(world, "airtel")
+    result = client.fetch_domain(sorted(world.blocklists.http["airtel"])[0])
+
+Package map:
+
+* :mod:`repro.netsim` — packet-level IPv4/TCP/UDP/ICMP simulator
+* :mod:`repro.httpsim` — HTTP crafting/serving/fetching/diffing
+* :mod:`repro.dnssim` — zones, recursive resolvers, lookups
+* :mod:`repro.middlebox` — wiretap/interceptive boxes, DNS poisoning
+* :mod:`repro.websites` — the PBW corpus and hosting substrate
+* :mod:`repro.isps` — the nine ISPs + TATA, and world assembly
+* :mod:`repro.core` — the paper's contribution: measurement + evasion
+* :mod:`repro.experiments` — regeneration of every table and figure
+"""
+
+__version__ = "1.0.0"
+
+from . import core, dnssim, httpsim, isps, middlebox, netsim, websites
+
+__all__ = [
+    "__version__",
+    "core",
+    "dnssim",
+    "httpsim",
+    "isps",
+    "middlebox",
+    "netsim",
+    "websites",
+]

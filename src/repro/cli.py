@@ -1,0 +1,222 @@
+"""Command-line interface.
+
+::
+
+    python -m repro info                      # world summary
+    python -m repro experiment table2        # regenerate a table/figure
+    python -m repro fetch airtel <domain>    # fetch like a browser
+    python -m repro evade idea <domain>      # try every evasion
+    python -m repro trace idea <domain>      # iterative network trace
+
+All commands accept ``--scale`` (world size; 1.0 = paper scale) and
+``--seed``.  Experiments additionally honour ``REPRO_BENCH_FRACTION``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional
+
+from .isps import PROFILES, build_world
+
+#: CLI experiment name -> experiments module attribute.
+EXPERIMENTS = {
+    "table1": "table1_ooni",
+    "table2": "table2_http",
+    "table3": "table3_collateral",
+    "fig2": "fig2_dns",
+    "fig5": "fig5_http",
+    "trigger": "trigger_analysis",
+    "dns-mechanism": "dns_mechanism",
+    "tcpip": "tcpip_filtering",
+    "statefulness": "statefulness",
+    "evasion": "evasion_matrix",
+    "ooni-failures": "ooni_failures",
+    "https": "https_filtering",
+    "idiosyncrasies": "idiosyncrasies",
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--scale", type=float, default=0.25,
+                        help="world scale (1.0 = full paper scale)")
+    common.add_argument("--seed", type=int, default=1808)
+
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Where The Light Gets In' (IMC 2018)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", parents=[common],
+                   help="summarize the simulated world")
+
+    experiment = sub.add_parser("experiment", parents=[common],
+                                help="regenerate a paper table/figure")
+    experiment.add_argument("name", choices=sorted(EXPERIMENTS))
+
+    fetch = sub.add_parser("fetch", parents=[common],
+                           help="fetch a domain from inside an ISP")
+    fetch.add_argument("isp", choices=sorted(PROFILES))
+    fetch.add_argument("domain", nargs="?", default=None,
+                       help="default: first censored site found")
+
+    evade = sub.add_parser("evade", parents=[common],
+                           help="try every evasion strategy")
+    evade.add_argument("isp", choices=sorted(PROFILES))
+    evade.add_argument("domain", nargs="?", default=None)
+
+    trace = sub.add_parser("trace", parents=[common],
+                           help="iterative network trace")
+    trace.add_argument("isp", choices=sorted(PROFILES))
+    trace.add_argument("domain", nargs="?", default=None)
+
+    return parser
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "experiment":
+        return _cmd_experiment(args)
+    world = build_world(seed=args.seed, scale=args.scale)
+    if args.command == "info":
+        return _cmd_info(world)
+    if args.command == "fetch":
+        return _cmd_fetch(world, args.isp, args.domain)
+    if args.command == "evade":
+        return _cmd_evade(world, args.isp, args.domain)
+    if args.command == "trace":
+        return _cmd_trace(world, args.isp, args.domain)
+    return 2  # pragma: no cover - argparse enforces choices
+
+
+def _cmd_info(world) -> int:
+    print(f"nodes: {len(world.network.nodes)}, "
+          f"links: {world.network.graph.number_of_edges()}")
+    print(f"PBW corpus: {len(world.corpus)} sites, "
+          f"Alexa destinations: {len(world.alexa)}")
+    print(f"{'ISP':10s} {'mechanism':16s} {'boxes':>5s} "
+          f"{'resolvers':>9s} {'blocklist':>9s}")
+    for name, deployment in sorted(world.isps.items()):
+        profile = deployment.profile
+        blocked = len(deployment.http_blocklist
+                      or deployment.dns_blocklist)
+        print(f"{name:10s} {profile.mechanism:16s} "
+              f"{len(deployment.middleboxes):5d} "
+              f"{len(deployment.resolvers):9d} {blocked:9d}")
+    return 0
+
+
+def _cmd_experiment(args) -> int:
+    from . import experiments
+
+    module = getattr(experiments, EXPERIMENTS[args.name])
+    world = experiments.get_world(seed=args.seed, scale=args.scale)
+    result = module.run(world)
+    print(result.render())
+    return 0
+
+
+def _pick_domain(world, isp: str, domain: Optional[str]) -> Optional[str]:
+    if domain is not None:
+        return domain
+    from .core.measure import canonical_payload, express_http_probe
+
+    client = world.client_of(isp)
+    for candidate in sorted(world.blocklists.http.get(isp, ())):
+        dst_ip = world.hosting.ip_for(candidate, "in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(candidate))
+        if verdict.censored:
+            return candidate
+    deployment = world.isp(isp)
+    if deployment.profile.censors_dns:
+        from .core.measure import resolver_service_at
+
+        service = resolver_service_at(world.network,
+                                      deployment.default_resolver_ip)
+        if service is not None and service.config.blocklist:
+            return sorted(service.config.blocklist)[0]
+    return None
+
+
+def _cmd_fetch(world, isp: str, domain: Optional[str]) -> int:
+    from .core.groundtruth import manually_verify
+    from .core.vantage import VantagePoint
+    from .middlebox import identify_isp, looks_like_block_page
+
+    domain = _pick_domain(world, isp, domain)
+    if domain is None:
+        print(f"no censored site found for {isp}; pass a domain explicitly")
+        return 1
+    vantage = VantagePoint.inside(world, isp)
+    print(f"fetching http://{domain}/ from inside {isp}...")
+    lookup = vantage.resolve(domain)
+    print(f"  resolved: {lookup.ips or 'FAILED'}")
+    result = vantage.fetch_domain(domain)
+    if result is None:
+        print("  fetch failed: resolution returned nothing")
+    else:
+        response = result.first_response
+        if response is not None and looks_like_block_page(response.body):
+            print(f"  BLOCK PAGE (fingerprint: "
+                  f"{identify_isp(response.body)!r})")
+        elif response is not None:
+            print(f"  HTTP {response.status}, {len(response.body)} bytes, "
+                  f"title: {response.title()!r}")
+        else:
+            print(f"  no response ({result.outcome()})")
+    verdict = manually_verify(world, vantage.host, domain)
+    print(f"  manual verification: censored={verdict.censored} "
+          f"mechanism={verdict.mechanism} ({verdict.evidence})")
+    return 0
+
+
+def _cmd_evade(world, isp: str, domain: Optional[str]) -> int:
+    from .core.evasion import STRATEGIES, attempt_strategy
+    from .core.vantage import VantagePoint
+
+    domain = _pick_domain(world, isp, domain)
+    if domain is None:
+        print(f"no censored site found for {isp}")
+        return 1
+    vantage = VantagePoint.inside(world, isp)
+    print(f"trying every strategy for {domain} in {isp}:")
+    any_success = False
+    for strategy in STRATEGIES:
+        attempt = attempt_strategy(world, vantage, domain, strategy)
+        mark = "OK " if attempt.success else "no "
+        print(f"  [{mark}] {strategy.name:26s} {attempt.detail}")
+        any_success = any_success or attempt.success
+    return 0 if any_success else 1
+
+
+def _cmd_trace(world, isp: str, domain: Optional[str]) -> int:
+    from .core.measure import http_iterative_trace
+
+    domain = _pick_domain(world, isp, domain)
+    if domain is None:
+        print(f"no censored site found for {isp}")
+        return 1
+    client = world.client_of(isp)
+    dst_ip = world.hosting.ip_for(domain, "in")
+    print(f"iterative network trace toward {domain} ({dst_ip}):")
+    trace = http_iterative_trace(world, client, dst_ip, domain)
+    for index, (hop, label) in enumerate(
+            zip(trace.traceroute.hops + [None] * 32, trace.per_ttl),
+            start=1):
+        print(f"  ttl={index:2d}  {hop or '*':16s} {label}")
+    if trace.censorship_observed:
+        print(f"  -> middlebox at hop {trace.censor_hop} "
+              f"({'anonymized' if trace.middlebox_anonymized else trace.censor_hop_ip})")
+    else:
+        print("  -> no censorship observed on this path")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,16 @@
+"""repro.core — the paper's contribution: measurement and evasion.
+
+* :mod:`repro.core.measure` — OONI model, the authors' detectors,
+  Iterative Network Tracing, statefulness probes, coverage/consistency
+  campaigns, collateral-damage attribution, middlebox classification.
+* :mod:`repro.core.evasion` — the proxy-free anti-censorship
+  strategies and their evaluation engine.
+* :mod:`repro.core.groundtruth` — the Tor control channel and the
+  manual-verification oracle.
+* :mod:`repro.core.vantage` — measurement vantage points.
+"""
+
+from . import evasion, groundtruth, measure
+from .vantage import VantagePoint
+
+__all__ = ["VantagePoint", "evasion", "groundtruth", "measure"]

@@ -1,0 +1,47 @@
+"""repro.core.evasion — proxy-free anti-censorship (section 5)."""
+
+from .autofetch import AutoFetchOutcome, CensorshipAwareFetcher
+
+from .engine import (
+    EvasionAttempt,
+    EvasionMatrix,
+    attempt_strategy,
+    evade_all,
+    evaluate_matrix,
+)
+from .firewall import (
+    ClientFirewall,
+    FirewallRule,
+    drop_fin_rst_from,
+    drop_fin_rst_with_ip_id,
+)
+from .strategies import (
+    CLIENT,
+    DNS,
+    REQUEST,
+    STRATEGIES,
+    STRATEGY_BY_NAME,
+    EvasionStrategy,
+    strategy,
+)
+
+__all__ = [
+    "AutoFetchOutcome",
+    "CLIENT",
+    "CensorshipAwareFetcher",
+    "ClientFirewall",
+    "DNS",
+    "EvasionAttempt",
+    "EvasionMatrix",
+    "EvasionStrategy",
+    "FirewallRule",
+    "REQUEST",
+    "STRATEGIES",
+    "STRATEGY_BY_NAME",
+    "attempt_strategy",
+    "drop_fin_rst_from",
+    "drop_fin_rst_with_ip_id",
+    "evade_all",
+    "evaluate_matrix",
+    "strategy",
+]

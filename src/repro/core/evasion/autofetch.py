@@ -1,0 +1,170 @@
+"""A censorship-aware fetcher: detect, adapt, remember.
+
+The paper's strategies are manual recipes; this module packages them
+the way a user-facing anti-censorship client would (in the spirit of
+INTANG, which the paper cites): fetch normally, recognise censorship
+when it happens, cycle through the proxy-free strategies until one
+renders the page, and remember what worked so subsequent fetches in
+the same network go straight to the winning recipe.
+
+No ground truth is consulted: censorship is recognised purely from the
+wire (block-page heuristics, reset-without-data patterns, manipulated
+resolutions), so the fetcher works from any vantage point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ...httpsim.client import FetchResult
+from ...middlebox.notification import looks_like_block_page
+from ...netsim.addressing import is_bogon
+from ..vantage import VantagePoint
+from .strategies import CLIENT, DNS, STRATEGIES, EvasionStrategy
+
+
+@dataclass
+class AutoFetchOutcome:
+    """What the fetcher did for one URL."""
+
+    domain: str
+    success: bool
+    censorship_detected: bool = False
+    strategy_used: Optional[str] = None
+    strategies_tried: List[str] = field(default_factory=list)
+    response: Optional[object] = None
+    detail: str = ""
+
+
+class CensorshipAwareFetcher:
+    """Fetches URLs, evading censorship automatically.
+
+    Example::
+
+        fetcher = CensorshipAwareFetcher(world, "airtel")
+        outcome = fetcher.fetch("blocked-site.com")
+        outcome.success           # True
+        outcome.strategy_used     # "host-keyword-case"
+    """
+
+    def __init__(self, world, isp_name: str,
+                 strategies: Optional[List[EvasionStrategy]] = None) -> None:
+        self.world = world
+        self.vantage = VantagePoint.inside(world, isp_name)
+        self.strategies = list(strategies) if strategies else list(STRATEGIES)
+        #: Learned per-session: the strategy that worked last time.
+        self.preferred: Optional[EvasionStrategy] = None
+        self.history: List[AutoFetchOutcome] = []
+
+    # -- public API --------------------------------------------------------
+
+    def fetch(self, domain: str) -> AutoFetchOutcome:
+        """Fetch ``http://domain/``, evading censorship if necessary."""
+        outcome = AutoFetchOutcome(domain=domain, success=False)
+        self.history.append(outcome)
+
+        dst_ip = self._resolve(domain, outcome)
+        if dst_ip is None:
+            return outcome
+
+        plain = self.vantage.fetch_domain(domain, ip=dst_ip)
+        if plain is not None and self._looks_clean(plain):
+            outcome.success = True
+            outcome.response = plain.first_response
+            outcome.detail = "no censorship"
+            return outcome
+
+        outcome.censorship_detected = True
+        ordering = self._strategy_order()
+        for strategy in ordering:
+            outcome.strategies_tried.append(strategy.name)
+            result = self._fetch_with(strategy, domain, dst_ip)
+            if result is not None and self._looks_clean(result):
+                outcome.success = True
+                outcome.strategy_used = strategy.name
+                outcome.response = result.first_response
+                outcome.detail = f"evaded with {strategy.name}"
+                self.preferred = strategy
+                return outcome
+        outcome.detail = "every strategy failed"
+        return outcome
+
+    # -- internals ------------------------------------------------------------
+
+    def _resolve(self, domain: str, outcome: AutoFetchOutcome
+                 ) -> Optional[str]:
+        lookup = self.vantage.resolve(domain)
+        if lookup.ok and not self._answer_manipulated(lookup.ips):
+            return lookup.ips[0]
+        # Resolution failed or looks poisoned: go straight to an
+        # alternate public resolver (the DNS strategy).
+        outcome.censorship_detected = True
+        outcome.strategies_tried.append("alternate-resolver")
+        alt = self.vantage.resolve(domain,
+                                   resolver_ip=self.world.google_dns.ip)
+        if alt.ok:
+            outcome.strategy_used = "alternate-resolver"
+            return alt.ips[0]
+        outcome.detail = "unresolvable through any resolver"
+        return None
+
+    def _answer_manipulated(self, ips) -> bool:
+        isp_name = self.world.isp_owning(self.vantage.host.ip)
+        pool = self.world.isp(isp_name).pool if isp_name else None
+        for ip in ips:
+            if is_bogon(ip):
+                return True
+            if pool is not None and pool.contains(ip):
+                return True
+        return False
+
+    def _strategy_order(self) -> List[EvasionStrategy]:
+        applicable = [s for s in self.strategies if s.kind != DNS]
+        if self.preferred is not None and self.preferred in applicable:
+            rest = [s for s in applicable if s is not self.preferred]
+            return [self.preferred] + rest
+        return applicable
+
+    def _fetch_with(self, strategy: EvasionStrategy, domain: str,
+                    dst_ip: str) -> Optional[FetchResult]:
+        if strategy.kind == CLIENT:
+            firewall = strategy.build_firewall(dst_ip)
+            saved = self.vantage.host.firewall
+            self.vantage.host.firewall = firewall
+            try:
+                result = self.vantage.fetch_domain(domain, ip=dst_ip)
+                self.vantage.settle(1.0)
+            finally:
+                self.vantage.host.firewall = saved
+            return result
+        return self.vantage.fetch_domain(
+            domain, ip=dst_ip, spec=strategy.spec_for(domain),
+            segment_size=strategy.segment_size)
+
+    def _looks_clean(self, result: FetchResult) -> bool:
+        """Wire-only censorship recognition (no oracle)."""
+        if result.reset_without_data:
+            return False
+        response = result.first_response
+        if response is None:
+            return False
+        if looks_like_block_page(response.body):
+            return False
+        # The genuine page may arrive alongside stray injected packets;
+        # the *rendered* response is what counts here (retries and the
+        # strategy memory handle racy wiretap boxes across fetches).
+        return True
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> Dict[str, int]:
+        """Fetches / censored / evaded / failed counters."""
+        return {
+            "fetches": len(self.history),
+            "censored": sum(1 for o in self.history
+                            if o.censorship_detected),
+            "evaded": sum(1 for o in self.history
+                          if o.censorship_detected and o.success),
+            "failed": sum(1 for o in self.history if not o.success),
+        }

@@ -1,0 +1,22 @@
+"""Ground-truth channels: the Tor circuit and the manual oracle."""
+
+from .tor import TorCircuit, TorLookup
+from .verify import (
+    MANUAL_ATTEMPTS,
+    ManualVerdict,
+    manually_verify,
+    same_site_content,
+    stable_core,
+    verify_dns_answer,
+)
+
+__all__ = [
+    "MANUAL_ATTEMPTS",
+    "ManualVerdict",
+    "TorCircuit",
+    "TorLookup",
+    "manually_verify",
+    "same_site_content",
+    "stable_core",
+    "verify_dns_answer",
+]

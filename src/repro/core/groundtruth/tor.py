@@ -1,0 +1,93 @@
+"""The Tor control channel.
+
+The paper uses Tor circuits ending in non-censorious countries as its
+uncensored ground-truth channel: resolving PBWs, fetching their
+contents, and attempting TCP handshakes "from outside".  Here a
+:class:`TorCircuit` performs those operations from the simulated exit
+host, whose paths never cross Indian censorship infrastructure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...dnssim.client import dns_lookup
+from ...httpsim.client import FetchResult, http_fetch
+from ...httpsim.message import GetRequestSpec
+from ...netsim.tcp import TCPApp
+
+
+@dataclass
+class TorLookup:
+    """A resolution through the circuit."""
+
+    domain: str
+    ips: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return bool(self.ips)
+
+
+class TorCircuit:
+    """An uncensored fetch/resolve channel through a foreign exit."""
+
+    def __init__(self, world) -> None:
+        self.world = world
+        self.exit_host = world.tor_exit
+        # Exit-side resolution goes through a public resolver in the
+        # exit's (non-censorious) region.
+        self.resolver_ip = world.google_dns.ip
+        self._dns_cache = {}
+
+    def resolve(self, domain: str) -> TorLookup:
+        """Resolve *domain* as the exit sees it (cached per domain)."""
+        cached = self._dns_cache.get(domain)
+        if cached is not None:
+            return cached
+        result = dns_lookup(self.world.network, self.exit_host,
+                            self.resolver_ip, domain)
+        lookup = TorLookup(domain=domain, ips=list(result.ips))
+        self._dns_cache[domain] = lookup
+        return lookup
+
+    def fetch(self, domain: str, path: str = "/",
+              ip: Optional[str] = None) -> Optional[FetchResult]:
+        """Fetch ``http://domain/path`` through the circuit.
+
+        Returns None when the domain does not resolve.  Passing ``ip``
+        pins the connection to a specific address — the trick the
+        authors use to check whether a suspicious resolved address
+        really serves the site (section 3.2-II).
+        """
+        if ip is None:
+            lookup = self.resolve(domain)
+            if not lookup.ok:
+                return None
+            ip = lookup.ips[0]
+        request = GetRequestSpec(domain=domain, path=path).to_bytes()
+        return http_fetch(self.world.network, self.exit_host, ip, request)
+
+    def tcp_connect(self, ip: str, port: int = 80,
+                    timeout: float = 4.0) -> bool:
+        """Attempt a 3-way handshake from the exit; True on success."""
+        outcome = {"connected": False, "done": False}
+
+        class Probe(TCPApp):
+            def on_connected(self, conn):
+                outcome["connected"] = True
+                outcome["done"] = True
+                conn.abort()
+
+            def on_closed(self, conn, reason):
+                outcome["done"] = True
+
+        network = self.world.network
+        self.exit_host.stack.connect(ip, port, Probe())
+        deadline = network.now + timeout
+        while not outcome["done"] and network.now < deadline:
+            if network.pending_events == 0:
+                break
+            network.run(until=min(deadline, network.now + 0.25))
+        return outcome["connected"]

@@ -1,0 +1,118 @@
+"""Attributing censorship events to ISPs — the section 6.1 heuristics.
+
+Indian middleboxes hide: their routers answer no traceroute probes, so
+unlike the Chinese study (495 identified filtering interfaces) the
+boxes' addresses are unknown.  The paper attributes censorship to an
+ISP with three heuristics, reproduced here in order of preference:
+
+1. **visible-hop**: the censoring hop's router address is visible in
+   traceroute and belongs to a known ISP's space;
+2. **surrounded-asterisk**: the censoring hop is anonymized but the
+   visible hops around it belong to one ISP — the box is assumed to be
+   that ISP's;
+3. **fingerprint**: the notification page carries an ISP-unique marker
+   (Airtel's ``airtel.in/dot`` iframe, Jio's fixed-IP redirect, ...).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ...middlebox.notification import identify_isp
+from ...netsim.devices import Host
+from .tracer import HTTPTraceResult, http_iterative_trace
+
+
+@dataclass
+class AttributionResult:
+    """Which ISP censors this (client, destination, domain) triple."""
+
+    isp: Optional[str]
+    method: Optional[str]  # "visible-hop" | "surrounded-asterisk" | "fingerprint"
+    trace: Optional[HTTPTraceResult] = None
+    notes: str = ""
+
+    @property
+    def attributed(self) -> bool:
+        return self.isp is not None
+
+
+def attribute_censorship(
+    world,
+    client: Host,
+    dst_ip: str,
+    blocked_domain: str,
+) -> AttributionResult:
+    """Locate the censoring device and attribute it to an ISP."""
+    trace = http_iterative_trace(world, client, dst_ip, blocked_domain)
+    if not trace.censorship_observed:
+        return AttributionResult(isp=None, method=None, trace=trace,
+                                 notes="no censorship on this path")
+
+    # Heuristic 1: the censoring hop answered traceroute.
+    if trace.censor_hop_ip is not None:
+        owner = world.isp_owning(trace.censor_hop_ip)
+        if owner is not None:
+            return AttributionResult(isp=owner, method="visible-hop",
+                                     trace=trace)
+
+    # Heuristic 2: an asterisked hop between visible hops of one ISP.
+    neighbour_isp = _surrounding_isp(world, trace)
+    if neighbour_isp is not None:
+        return AttributionResult(isp=neighbour_isp,
+                                 method="surrounded-asterisk",
+                                 trace=trace)
+
+    # Heuristic 3: the notification's fingerprint.
+    trace_body = _notification_body(world, client, dst_ip, blocked_domain)
+    if trace_body:
+        fingerprinted = identify_isp(trace_body)
+        if fingerprinted is not None:
+            return AttributionResult(isp=fingerprinted,
+                                     method="fingerprint", trace=trace)
+
+    return AttributionResult(isp=None, method=None, trace=trace,
+                             notes="anonymized, no fingerprint")
+
+
+def _surrounding_isp(world, trace: HTTPTraceResult) -> Optional[str]:
+    """The ISP owning the visible hops around the censoring hop —
+    if they agree, the anonymized box is assumed to be theirs."""
+    hops = trace.traceroute.hops
+    index = (trace.censor_hop or 0) - 1
+    if not 0 <= index < len(hops):
+        return None
+
+    def owner_at(position: int) -> Optional[str]:
+        if 0 <= position < len(hops) and hops[position] is not None:
+            return world.isp_owning(hops[position])
+        return None
+
+    before = next((owner_at(i) for i in range(index - 1, -1, -1)
+                   if owner_at(i) is not None), None)
+    after = next((owner_at(i) for i in range(index + 1, len(hops))
+                  if owner_at(i) is not None), None)
+    if before is not None and before == after:
+        return before
+    # At the path's edge, one side suffices.
+    if before is not None and after is None:
+        return before
+    if after is not None and before is None:
+        return after
+    return None
+
+
+def _notification_body(world, client: Host, dst_ip: str,
+                       domain: str, attempts: int = 4) -> bytes:
+    """Fetch until a block page is captured (wiretap races retried)."""
+    from ...httpsim.client import fetch_url
+    from ...middlebox.notification import looks_like_block_page
+
+    for _ in range(attempts):
+        result = fetch_url(world.network, client, dst_ip, domain)
+        world.network.run(until=world.network.now + 0.3)
+        response = result.first_response
+        if response is not None and looks_like_block_page(response.body):
+            return response.body
+    return b""

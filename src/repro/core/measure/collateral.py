@@ -1,0 +1,130 @@
+"""Collateral damage measurement (section 4.3, Table 3).
+
+From a client inside a *non-censoring* stub ISP, fetch every PBW and
+attribute each censorship event to the neighbouring ISP whose transit
+caused it.  Attribution follows section 6.1's heuristics: the
+notification page's fingerprint identifies the censoring ISP; covert
+resets are attributed by probing which transit the path hashes to.
+
+The express variant walks paths and asks the triggering box directly
+(fast, used for the Table 3 bench); the packet-level variant does real
+fetches with fingerprint attribution (used by tests and examples).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from ...middlebox.notification import identify_isp, looks_like_block_page
+from ..vantage import VantagePoint
+from .fastprobe import canonical_payload, express_http_probe
+
+
+@dataclass
+class CollateralReport:
+    """Which neighbours censor a stub's traffic, and what they block."""
+
+    stub: str
+    #: neighbour ISP -> domains it blocked for this stub's client.
+    by_neighbour: Dict[str, Set[str]] = field(default_factory=dict)
+    unattributed: Set[str] = field(default_factory=set)
+
+    def add(self, neighbour: Optional[str], domain: str) -> None:
+        if neighbour is None:
+            self.unattributed.add(domain)
+        else:
+            self.by_neighbour.setdefault(neighbour, set()).add(domain)
+
+    def counts(self) -> Dict[str, int]:
+        return {neighbour: len(domains)
+                for neighbour, domains in sorted(self.by_neighbour.items())}
+
+    @property
+    def total_censored(self) -> int:
+        return (sum(len(d) for d in self.by_neighbour.values())
+                + len(self.unattributed))
+
+
+def measure_collateral_express(
+    world,
+    stub_name: str,
+    domains: Optional[Iterable[str]] = None,
+) -> CollateralReport:
+    """Express campaign: every PBW fetched once from the stub client."""
+    vantage = VantagePoint.inside(world, stub_name)
+    if domains is None:
+        domains = world.corpus.domains()
+    report = CollateralReport(stub=stub_name)
+    for domain in domains:
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(
+            world.network, vantage.host, dst_ip, canonical_payload(domain))
+        if verdict.censored:
+            report.add(verdict.box_isp, domain)
+    return report
+
+
+def measure_collateral_fetch(
+    world,
+    stub_name: str,
+    domains: Iterable[str],
+    *,
+    attempts: int = 3,
+) -> CollateralReport:
+    """Packet-level campaign with fingerprint attribution.
+
+    Covert resets carry no fingerprint; they are attributed by checking
+    which neighbour's address space the poisoned path enters (the
+    section 6.1 path-segment heuristic), falling back to unattributed.
+    """
+    vantage = VantagePoint.inside(world, stub_name)
+    report = CollateralReport(stub=stub_name)
+    for domain in domains:
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        neighbour, censored = _fetch_and_attribute(
+            world, vantage, domain, dst_ip, attempts)
+        if censored:
+            report.add(neighbour, domain)
+    return report
+
+
+def _fetch_and_attribute(world, vantage, domain, dst_ip, attempts):
+    resets = 0
+    for _ in range(attempts):
+        result = vantage.fetch_domain(domain, ip=dst_ip)
+        if result is None:
+            return None, False
+        response = result.first_response
+        if response is not None and looks_like_block_page(response.body):
+            return identify_isp(response.body), True
+        if result.got_rst and not result.ok:
+            resets += 1
+            continue
+        if response is not None:
+            return None, False
+        world.network.run(until=world.network.now + 0.2)
+    if resets == attempts:
+        return _attribute_by_path(world, vantage, dst_ip), True
+    return None, False
+
+
+def _attribute_by_path(world, vantage, dst_ip) -> Optional[str]:
+    """Which censoring neighbour's address space does the path enter?"""
+    try:
+        path = world.network.path_to(vantage.host, dst_ip)
+    except Exception:
+        return None
+    stub = world.isp_owning(vantage.host.ip)
+    for node in path[1:-1]:
+        if not node.ips:
+            continue
+        owner = world.isp_owning(node.ip)
+        if owner is not None and owner != stub:
+            if world.isp(owner).profile.censors_http:
+                return owner
+    return None

@@ -1,0 +1,123 @@
+"""The authors' semi-automatic HTTP censorship detector (section 3.1/3.4-II).
+
+Per PBW: fetch through Tor (ground truth) and directly; compute the
+difflib difference over response *bodies only* (headers excluded — the
+paper's fix for OONI's CDN-metadata false positives); sites under the
+0.3 threshold are non-censored, sites over it go to manual inspection
+instead of being flagged outright.  The run records how many
+over-threshold sites manual inspection cleared — the paper's
+"30–40% would have been false positives" figure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional, Set
+
+from ...httpsim.diff import AUTHORS_DIFF_THRESHOLD, body_difference
+from ..groundtruth.tor import TorCircuit
+from ..groundtruth.verify import ManualVerdict, manually_verify
+from ..vantage import VantagePoint
+
+
+@dataclass
+class DetectorSiteOutcome:
+    """What the detector concluded for one site."""
+
+    domain: str
+    diff: Optional[float] = None
+    over_threshold: bool = False
+    manual: Optional[ManualVerdict] = None
+    censored: bool = False
+    mechanism: Optional[str] = None
+    notes: str = ""
+
+
+@dataclass
+class DetectorRun:
+    """One detection campaign from one client."""
+
+    vantage: str
+    threshold: float
+    outcomes: Dict[str, DetectorSiteOutcome] = field(default_factory=dict)
+
+    def censored_domains(self, mechanism: Optional[str] = None) -> Set[str]:
+        return {
+            domain for domain, outcome in self.outcomes.items()
+            if outcome.censored
+            and (mechanism is None or outcome.mechanism == mechanism)
+        }
+
+    @property
+    def flagged_count(self) -> int:
+        """Sites the automatic diff put over the threshold."""
+        return sum(1 for o in self.outcomes.values() if o.over_threshold)
+
+    @property
+    def cleared_after_manual(self) -> int:
+        """Over-threshold sites that manual inspection found accessible —
+        OONI would have called every one of these censored."""
+        return sum(1 for o in self.outcomes.values()
+                   if o.over_threshold and not o.censored)
+
+    @property
+    def false_flag_fraction(self) -> float:
+        """Fraction of auto-flagged sites that were actually fine."""
+        if self.flagged_count == 0:
+            return 0.0
+        return self.cleared_after_manual / self.flagged_count
+
+
+def detect_site(
+    world,
+    vantage: VantagePoint,
+    domain: str,
+    tor: TorCircuit,
+    threshold: float = AUTHORS_DIFF_THRESHOLD,
+) -> DetectorSiteOutcome:
+    """Run the semi-automatic check for one site."""
+    outcome = DetectorSiteOutcome(domain=domain)
+    reference = tor.fetch(domain)
+    if reference is None or not reference.ok:
+        outcome.notes = "unreachable via Tor; out of scope"
+        return outcome
+
+    direct = vantage.fetch_domain(domain)
+    if direct is None or direct.first_response is None:
+        # No response at all (reset / timeout / failed resolution):
+        # straight to manual verification.
+        outcome.over_threshold = True
+        outcome.diff = 1.0
+    else:
+        outcome.diff = body_difference(
+            reference.first_response.body, direct.first_response.body)
+        outcome.over_threshold = outcome.diff > threshold
+
+    if not outcome.over_threshold:
+        outcome.notes = "under threshold: non-censored"
+        return outcome
+
+    outcome.manual = manually_verify(world, vantage.host, domain, tor=tor,
+                                     resolver_ip=vantage.default_resolver_ip)
+    outcome.censored = outcome.manual.censored
+    outcome.mechanism = outcome.manual.mechanism
+    outcome.notes = outcome.manual.evidence
+    return outcome
+
+
+def run_detector(
+    world,
+    isp_name: str,
+    domains: Optional[Iterable[str]] = None,
+    threshold: float = AUTHORS_DIFF_THRESHOLD,
+) -> DetectorRun:
+    """Run the authors' detector over the PBW list from *isp_name*."""
+    vantage = VantagePoint.inside(world, isp_name)
+    tor = TorCircuit(world)
+    if domains is None:
+        domains = world.corpus.domains()
+    run = DetectorRun(vantage=vantage.label, threshold=threshold)
+    for domain in domains:
+        run.outcomes[domain] = detect_site(world, vantage, domain, tor,
+                                           threshold)
+    return run

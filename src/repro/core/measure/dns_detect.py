@@ -1,0 +1,134 @@
+"""DNS-filtering detection — the section 3.2-II pipeline.
+
+1. Resolve every PBW through the test ISP and through Tor; overlapping
+   answer sets are uncensored.
+2. Frequency analysis over the remainder: one address answering for
+   many unrelated domains is the signature of a static poison address
+   (after removing genuine shared hosting, where Tor sees the same
+   sharing).
+3. Heuristics: answers inside the client's own AS, and bogon answers,
+   are manipulated.
+4. Whatever survives is fetched through Tor pinned to the suspicious
+   address; serving the real content clears it.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ...netsim.addressing import is_bogon
+from ..groundtruth.tor import TorCircuit
+from ..groundtruth.verify import same_site_content
+from ..vantage import VantagePoint
+
+
+@dataclass
+class DNSDetectionOutcome:
+    """Verdict for one domain."""
+
+    domain: str
+    resolved_ips: List[str] = field(default_factory=list)
+    censored: bool = False
+    evidence: str = ""
+
+
+@dataclass
+class DNSDetectionRun:
+    """One DNS-filtering campaign from one client."""
+
+    vantage: str
+    outcomes: Dict[str, DNSDetectionOutcome] = field(default_factory=dict)
+    #: Frequency analysis result: suspicious address -> #domains.
+    poison_address_counts: Counter = field(default_factory=Counter)
+
+    def censored_domains(self) -> Set[str]:
+        return {d for d, o in self.outcomes.items() if o.censored}
+
+    def poison_addresses(self) -> Set[str]:
+        return set(self.poison_address_counts)
+
+
+def detect_dns_filtering(
+    world,
+    isp_name: str,
+    domains: Optional[Iterable[str]] = None,
+    *,
+    resolver_ip: Optional[str] = None,
+) -> DNSDetectionRun:
+    """Run the full DNS-filtering detection pipeline."""
+    vantage = VantagePoint.inside(world, isp_name)
+    tor = TorCircuit(world)
+    if domains is None:
+        domains = world.corpus.domains()
+    if resolver_ip is None:
+        resolver_ip = vantage.default_resolver_ip
+    run = DNSDetectionRun(vantage=vantage.label)
+
+    # Phase 1: resolve everywhere; set aside the overlapping answers.
+    suspicious: Dict[str, List[str]] = {}
+    for domain in domains:
+        outcome = DNSDetectionOutcome(domain=domain)
+        run.outcomes[domain] = outcome
+        lookup = vantage.resolve(domain, resolver_ip=resolver_ip)
+        outcome.resolved_ips = list(lookup.ips)
+        tor_ips = set(tor.resolve(domain).ips)
+        if not tor_ips:
+            outcome.evidence = "not resolvable via Tor; out of scope"
+            continue
+        if not lookup.ok:
+            outcome.censored = True
+            outcome.evidence = "no answer from ISP resolver"
+            continue
+        if tor_ips & set(lookup.ips):
+            outcome.evidence = "overlapping answers"
+            continue
+        suspicious[domain] = list(lookup.ips)
+
+    # Phase 2: frequency analysis — repeated addresses across unrelated
+    # domains (Tor disagrees about all of them) are poison candidates.
+    counts: Counter = Counter()
+    for ips in suspicious.values():
+        for ip in set(ips):
+            counts[ip] += 1
+    repeated = {ip for ip, count in counts.items() if count > 1}
+    run.poison_address_counts = Counter(
+        {ip: counts[ip] for ip in repeated})
+
+    client_isp = world.isp_owning(vantage.host.ip)
+    for domain, ips in suspicious.items():
+        outcome = run.outcomes[domain]
+        evidence = _judge_suspicious(world, tor, domain, ips,
+                                     repeated, client_isp)
+        if evidence is not None:
+            outcome.censored = True
+            outcome.evidence = evidence
+        else:
+            outcome.evidence = "suspicious address verified legitimate"
+    return run
+
+
+def _judge_suspicious(world, tor: TorCircuit, domain: str, ips: List[str],
+                      repeated: Set[str], client_isp: Optional[str]
+                      ) -> Optional[str]:
+    for ip in ips:
+        if is_bogon(ip):
+            return f"bogon answer {ip}"
+    for ip in ips:
+        if client_isp is not None and world.isp_owning(ip) == client_isp:
+            return f"answer {ip} inside client AS"
+    for ip in ips:
+        if ip in repeated:
+            return f"answer {ip} repeats across unrelated domains"
+    # Phase 3: fetch the content from the suspicious address via Tor.
+    reference = tor.fetch(domain)
+    for ip in ips:
+        pinned = tor.fetch(domain, ip=ip)
+        if pinned is None or not pinned.ok:
+            return f"answer {ip} serves nothing"
+        if (reference is not None and reference.ok
+                and not same_site_content(pinned.first_response.body,
+                                          reference.first_response.body)):
+            return f"answer {ip} serves different content"
+    return None

@@ -1,0 +1,211 @@
+"""Express probing: path-walk verdicts without packet simulation.
+
+Full packet simulation costs ~2 ms per fetch; the coverage experiments
+of section 4.2.2 need millions of (destination, Host) probes.  The
+express layer answers "would this request be censored, and by which
+box?" by walking the ECMP path once and applying each middlebox's
+trigger discipline directly — the same :class:`TriggerSpec` objects the
+packet-level middleboxes use, so there is no second implementation of
+matching to drift.
+
+Express probing intentionally assumes a *patient* prober: wiretap
+race-losses (miss_rate) are ignored, matching the paper's methodology
+of counting a path poisoned when even a single probe elicits
+censorship.  Equivalence with the packet engine is covered by property
+tests in ``tests/measure/test_fastprobe_equivalence.py``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ...dnssim.message import DNSQuery, DNSResponse
+from ...dnssim.resolver import ResolverService
+from ...httpsim.message import GetRequestSpec
+from ...middlebox.dns_injector import DNSInjectorMiddlebox
+from ...netsim.devices import Host, Router
+from ...netsim.engine import Network
+from ...netsim.errors import RoutingError
+
+
+@dataclass
+class ExpressVerdict:
+    """Outcome of one express HTTP probe."""
+
+    censored: bool
+    domain: Optional[str] = None
+    box: Optional[object] = None
+    hop: Optional[int] = None
+
+    @property
+    def box_kind(self) -> Optional[str]:
+        return getattr(self.box, "kind", None) if self.box else None
+
+    @property
+    def box_isp(self) -> Optional[str]:
+        return getattr(self.box, "isp", None) if self.box else None
+
+    @property
+    def covert(self) -> bool:
+        """True when censorship manifests as a bare reset."""
+        return getattr(self.box, "mode", None) == "covert"
+
+
+NOT_CENSORED = ExpressVerdict(censored=False)
+
+
+def middleboxes_along(network: Network, client: Host, dst_ip: str,
+                      client_ip: Optional[str] = None) -> List[tuple]:
+    """(hop, box) pairs on the ECMP path, in traversal order."""
+    try:
+        path = network.path_to(client, dst_ip,
+                               src_ip=client_ip or client.ip)
+    except RoutingError:
+        return []
+    found = []
+    for hop, node in enumerate(path[1:], start=1):
+        if isinstance(node, Router):
+            for box in node.taps:
+                found.append((hop, box))
+            if node.inline_middlebox is not None:
+                found.append((hop, node.inline_middlebox))
+    return found
+
+
+def express_http_probe(
+    network: Network,
+    client: Host,
+    dst_ip: str,
+    payload: bytes,
+    *,
+    dst_port: int = 80,
+    client_ip: Optional[str] = None,
+) -> ExpressVerdict:
+    """Would this request payload be censored en route?"""
+    client_ip = client_ip or client.ip
+    for hop, box in middleboxes_along(network, client, dst_ip, client_ip):
+        spec = getattr(box, "spec", None)
+        if spec is None or not spec.inspects_port(dst_port):
+            continue
+        if not box.in_scope(client_ip):
+            continue
+        domain = spec.matched_domain(payload)
+        if domain is not None:
+            return ExpressVerdict(censored=True, domain=domain,
+                                  box=box, hop=hop)
+    return NOT_CENSORED
+
+
+def express_canonical_probe(
+    network: Network,
+    client: Host,
+    dst_ip: str,
+    domain: str,
+    *,
+    client_ip: Optional[str] = None,
+    boxes: Optional[List[tuple]] = None,
+) -> ExpressVerdict:
+    """Express probe for a *stock-browser* request for *domain*.
+
+    A canonical request's Host line matches every trigger discipline,
+    so the per-box check reduces to blocklist membership (plus scope) —
+    orders of magnitude faster than byte matching when sweeping the
+    full corpus.  Pass precomputed ``boxes`` when probing many domains
+    down one path.
+    """
+    client_ip = client_ip or client.ip
+    if boxes is None:
+        boxes = middleboxes_along(network, client, dst_ip, client_ip)
+    wanted = domain.lower()
+    for hop, box in boxes:
+        spec = getattr(box, "spec", None)
+        if spec is None or not spec.inspects_port(80):
+            continue
+        if not box.in_scope(client_ip):
+            continue
+        if wanted in spec.blocklist:
+            return ExpressVerdict(censored=True, domain=wanted,
+                                  box=box, hop=hop)
+    return NOT_CENSORED
+
+
+def canonical_payload(domain: str) -> bytes:
+    """The stock-browser request express probes model."""
+    return GetRequestSpec(domain=domain).to_bytes()
+
+
+# ---------------------------------------------------------------------------
+# DNS express probing
+# ---------------------------------------------------------------------------
+
+@dataclass
+class ExpressDNSAnswer:
+    """Outcome of one express DNS probe."""
+
+    responded: bool
+    ips: tuple = ()
+    rcode: Optional[str] = None
+    injected: bool = False
+    injector: Optional[object] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.responded and self.rcode == "NOERROR" and bool(self.ips)
+
+
+NO_ANSWER = ExpressDNSAnswer(responded=False)
+
+
+def resolver_service_at(network: Network, resolver_ip: str
+                        ) -> Optional[ResolverService]:
+    """The resolver service listening at *resolver_ip*, if any."""
+    owner = network.owner_of(resolver_ip)
+    if not isinstance(owner, Host):
+        return None
+    handler = owner.udp_services.get(53)
+    if handler is None:
+        return None
+    service = getattr(handler, "__self__", None)
+    if isinstance(service, ResolverService):
+        return service
+    return None
+
+
+def express_dns_probe(
+    network: Network,
+    client: Host,
+    resolver_ip: str,
+    qname: str,
+) -> ExpressDNSAnswer:
+    """Would this query get an answer, and what would it say?
+
+    Walks the path for inline DNS injectors first (they answer from
+    mid-path), then consults the resolver service itself.
+    """
+    try:
+        path = network.path_to(client, resolver_ip)
+    except RoutingError:
+        return NO_ANSWER
+    for node in path[1:-1]:
+        if isinstance(node, Router) and node.inline_middlebox is not None:
+            box = node.inline_middlebox
+            if isinstance(box, DNSInjectorMiddlebox):
+                bare = qname[4:] if qname.startswith("www.") else qname
+                if qname in box.blocklist or bare in box.blocklist:
+                    return ExpressDNSAnswer(
+                        responded=True,
+                        ips=(box.poison_strategy(qname),),
+                        rcode="NOERROR", injected=True, injector=box,
+                    )
+    service = resolver_service_at(network, resolver_ip)
+    if service is None:
+        return NO_ANSWER
+    config = service.config
+    if not config.open_to_world:
+        allowed = config.client_filter
+        if allowed is None or not allowed(client.ip):
+            return NO_ANSWER
+    response: DNSResponse = service.answer(DNSQuery(qname=qname), resolver_ip)
+    return ExpressDNSAnswer(responded=True, ips=tuple(response.ips),
+                            rcode=response.rcode)

@@ -1,0 +1,153 @@
+"""Result serialization: OONI-style JSON reports, campaign exports,
+plot-ready CSV series.
+
+A reproduction is only useful downstream if its measurements leave the
+process: this module turns the result objects into stable, versioned
+dictionaries (JSON-ready) and CSV text, the way the real OONI probe
+ships ``web_connectivity`` reports and the paper's figures ship as
+scatter data.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Dict, List, Mapping, Set
+
+from .coverage import CoverageResult
+from .metrics import per_site_blocking_fractions
+from .ooni import OONIRun, OONISiteResult
+from .resolver_scan import ResolverScanResult
+
+REPORT_FORMAT_VERSION = "1.0"
+
+
+# ---------------------------------------------------------------------------
+# OONI-style reports
+# ---------------------------------------------------------------------------
+
+def ooni_site_report(result: OONISiteResult) -> dict:
+    """One measurement entry, shaped like a web_connectivity record."""
+    return {
+        "input": f"http://{result.domain}/",
+        "test_name": "web_connectivity",
+        "test_keys": {
+            "blocking": (result.blocking
+                         if result.blocking != "none" else False),
+            "accessible": result.blocking == "none",
+            "dns_consistency": ("consistent" if result.dns_consistent
+                                else "inconsistent"),
+            "control": {"addrs": list(result.control_ips)},
+            "queries": [{"answers": list(result.experiment_ips)}],
+            "body_length_match": result.body_length_match,
+            "headers_match": result.headers_match,
+            "title_match": result.title_match,
+        },
+        "notes": result.notes,
+    }
+
+
+def ooni_run_report(run: OONIRun) -> dict:
+    """A full campaign report."""
+    return {
+        "report_format_version": REPORT_FORMAT_VERSION,
+        "probe": run.vantage,
+        "measurement_count": len(run.results),
+        "anomaly_count": len(run.flagged()),
+        "measurements": [ooni_site_report(result)
+                         for result in run.results.values()],
+    }
+
+
+def ooni_run_to_json(run: OONIRun, indent: int = 2) -> str:
+    return json.dumps(ooni_run_report(run), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------------
+# Campaign exports
+# ---------------------------------------------------------------------------
+
+def coverage_report(result: CoverageResult) -> dict:
+    """Coverage campaign -> JSON-ready dictionary."""
+    return {
+        "report_format_version": REPORT_FORMAT_VERSION,
+        "isp": result.isp,
+        "vantage_kind": result.vantage_kind,
+        "paths_total": result.n_paths,
+        "paths_poisoned": result.n_poisoned,
+        "coverage": result.coverage,
+        "consistency": result.consistency,
+        "blocked_union": sorted(result.blocked_union()),
+        "paths": [
+            {
+                "vantage": path.vantage,
+                "destination": path.dst_ip,
+                "poisoned": path.poisoned,
+                "blocked": sorted(path.blocked),
+            }
+            for path in result.paths
+        ],
+    }
+
+
+def resolver_scan_report(scan: ResolverScanResult) -> dict:
+    """Resolver-scan campaign -> JSON-ready dictionary."""
+    return {
+        "report_format_version": REPORT_FORMAT_VERSION,
+        "isp": scan.isp,
+        "swept_addresses": scan.swept_addresses,
+        "open_resolvers": list(scan.open_resolvers),
+        "censorious_resolvers": {
+            ip: sorted(blocked) for ip, blocked in scan.censorious.items()
+        },
+        "coverage": scan.coverage,
+        "blocked_union": sorted(scan.blocked_union()),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Figure series (CSV)
+# ---------------------------------------------------------------------------
+
+def blocking_series_csv(per_unit_blocked: Mapping[object, Set[str]],
+                        site_ids: Mapping[str, int],
+                        unit_label: str = "unit") -> str:
+    """The Figure 2/5 scatter as CSV: ``site_id,percent_blocking``.
+
+    Sorted by site id, one row per site blocked by at least one unit —
+    exactly the dots in the paper's plots.
+    """
+    fractions = per_site_blocking_fractions(per_unit_blocked)
+    rows: List[tuple] = sorted(
+        (site_ids.get(domain, -1), fraction * 100.0)
+        for domain, fraction in fractions.items()
+    )
+    out = io.StringIO()
+    out.write(f"website_id,percent_of_{unit_label}s_blocking\n")
+    for site_id, percent in rows:
+        out.write(f"{site_id},{percent:.2f}\n")
+    return out.getvalue()
+
+
+def coverage_series_csv(result: CoverageResult,
+                        site_ids: Mapping[str, int]) -> str:
+    return blocking_series_csv(result.per_path_blocked(), site_ids,
+                               unit_label="path")
+
+
+def resolver_series_csv(scan: ResolverScanResult,
+                        site_ids: Mapping[str, int]) -> str:
+    return blocking_series_csv(dict(scan.censorious), site_ids,
+                               unit_label="resolver")
+
+
+def precision_recall_table(rows: Dict[str, Dict[str, tuple]]) -> dict:
+    """Table-1-shaped structure -> JSON-ready dictionary."""
+    return {
+        "report_format_version": REPORT_FORMAT_VERSION,
+        "table": {
+            isp: {column: {"precision": pr[0], "recall": pr[1]}
+                  for column, pr in columns.items()}
+            for isp, columns in rows.items()
+        },
+    }

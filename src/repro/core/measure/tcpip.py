@@ -1,0 +1,94 @@
+"""TCP/IP (network/transport header) filtering detection — section 3.3.
+
+The paper's deliberately crude but validated approach: for every PBW
+that accepts a TCP handshake through Tor (so the site itself is up),
+attempt five direct handshakes spaced two seconds apart; only a site
+failing *all five* counts as TCP/IP-filtered.  In every Indian ISP the
+answer was: none.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ...netsim.tcp import TCPApp
+from ..groundtruth.tor import TorCircuit
+from ..vantage import VantagePoint
+
+HANDSHAKE_ATTEMPTS = 5
+ATTEMPT_SPACING = 2.0
+
+
+@dataclass
+class TCPIPFilterReport:
+    """Per-site handshake outcomes for one ISP."""
+
+    isp: str
+    #: domain -> number of successful handshakes (of the five).
+    successes: Dict[str, int] = field(default_factory=dict)
+    skipped_unreachable: int = 0
+
+    def filtered_domains(self) -> set:
+        """Sites failing all five attempts — the TCP/IP-filtered set."""
+        return {domain for domain, wins in self.successes.items()
+                if wins == 0}
+
+    @property
+    def any_filtering(self) -> bool:
+        return bool(self.filtered_domains())
+
+
+def _attempt_handshake(world, client, ip: str, port: int = 80,
+                       timeout: float = 4.0) -> bool:
+    outcome = {"connected": False, "done": False}
+
+    class Probe(TCPApp):
+        def on_connected(self, conn):
+            outcome["connected"] = True
+            outcome["done"] = True
+            conn.abort()
+
+        def on_closed(self, conn, reason):
+            outcome["done"] = True
+
+    network = world.network
+    client.stack.connect(ip, port, Probe())
+    deadline = network.now + timeout
+    while not outcome["done"] and network.now < deadline:
+        if network.pending_events == 0:
+            break
+        network.run(until=min(deadline, network.now + 0.25))
+    network.run(until=min(deadline, network.now + 0.05))
+    return outcome["connected"]
+
+
+def detect_tcpip_filtering(
+    world,
+    isp_name: str,
+    domains: Optional[Iterable[str]] = None,
+    *,
+    attempts: int = HANDSHAKE_ATTEMPTS,
+    spacing: float = ATTEMPT_SPACING,
+) -> TCPIPFilterReport:
+    """Run the five-handshake test over the PBW list."""
+    vantage = VantagePoint.inside(world, isp_name)
+    tor = TorCircuit(world)
+    if domains is None:
+        domains = world.corpus.domains()
+    report = TCPIPFilterReport(isp=isp_name)
+    network = world.network
+
+    for domain in domains:
+        lookup = tor.resolve(domain)
+        if not lookup.ok or not tor.tcp_connect(lookup.ips[0]):
+            report.skipped_unreachable += 1
+            continue
+        ip = lookup.ips[0]
+        wins = 0
+        for _ in range(attempts):
+            if _attempt_handshake(world, vantage.host, ip):
+                wins += 1
+            network.run(until=network.now + spacing)
+        report.successes[domain] = wins
+    return report

@@ -1,0 +1,151 @@
+"""Iterative Network Tracing (Figure 1) — HTTP and DNS variants.
+
+The paper's core localization technique: send the sensitive message
+(crafted GET, or DNS query for a blocked name) repeatedly with
+increasing IP TTL.  The hop at which the censored response first
+appears is the middlebox's network position; correlating it against
+traceroute identifies (or fails to identify, for anonymized routers)
+the responsible device.
+
+For DNS, an answer arriving only when the TTL reaches the resolver's
+own hop proves *poisoning*; an answer from an earlier hop proves
+*injection* (section 3.2-III).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from ...dnssim.client import dns_lookup
+from ...netsim.devices import Host
+from ...netsim.traceroute import TracerouteResult, traceroute
+from .probes import CraftedFlow
+
+
+@dataclass
+class HTTPTraceResult:
+    """Outcome of one HTTP iterative trace."""
+
+    dst_ip: str
+    traceroute: TracerouteResult = None
+    #: TTL at which the censorship response first appeared (None: never).
+    censor_hop: Optional[int] = None
+    #: Router address traceroute reports at that hop (None: anonymized).
+    censor_hop_ip: Optional[str] = None
+    #: Per-TTL record of what came back.
+    per_ttl: List[str] = field(default_factory=list)
+
+    @property
+    def censorship_observed(self) -> bool:
+        return self.censor_hop is not None
+
+    @property
+    def middlebox_anonymized(self) -> bool:
+        return self.censorship_observed and self.censor_hop_ip is None
+
+
+def http_iterative_trace(
+    world,
+    client: Host,
+    dst_ip: str,
+    blocked_domain: str,
+    *,
+    max_ttl: Optional[int] = None,
+    settle: float = 0.8,
+    attempts_per_ttl: int = 5,
+) -> HTTPTraceResult:
+    """Locate the HTTP middlebox between *client* and *dst_ip*.
+
+    Each TTL gets a fresh connection (a censored flow is dead after the
+    first trigger), opened with a full-TTL handshake, then probed with
+    a TTL-limited crafted GET.  The paper sends "a series" of crafted
+    requests per TTL; retries defeat the wiretap boxes' lost races.
+    """
+    network = world.network
+    result = HTTPTraceResult(dst_ip=dst_ip)
+    result.traceroute = traceroute(network, client, dst_ip)
+    if max_ttl is None:
+        max_ttl = (result.traceroute.hop_count
+                   or len(result.traceroute.hops) + 1)
+
+    for ttl in range(1, max_ttl + 1):
+        label = "silent"
+        for _ in range(attempts_per_ttl):
+            flow = CraftedFlow(world, client, dst_ip)
+            if not flow.open():
+                label = "no-connect"
+                continue
+            observation = flow.probe_and_observe(
+                blocked_domain, ttl=ttl, duration=settle)
+            flow.close()
+            if observation.notification or (observation.rst_from_target
+                                            and not observation.real_content
+                                            and not observation.icmp_expired):
+                label = "censored"
+                break
+            if observation.icmp_expired:
+                label = f"icmp:{observation.icmp_hops[0]}"
+                break
+            if observation.real_content:
+                label = "content"
+                break
+        result.per_ttl.append(label)
+        if label == "censored":
+            result.censor_hop = ttl
+            hops = result.traceroute.hops
+            if 0 < ttl <= len(hops):
+                result.censor_hop_ip = hops[ttl - 1]
+            break
+    return result
+
+
+@dataclass
+class DNSTraceResult:
+    """Outcome of one DNS iterative trace."""
+
+    resolver_ip: str
+    qname: str
+    resolver_hop: int = 0
+    answer_hop: Optional[int] = None
+    answer_ips: List[str] = field(default_factory=list)
+    per_ttl: List[str] = field(default_factory=list)
+
+    @property
+    def answered(self) -> bool:
+        return self.answer_hop is not None
+
+    @property
+    def mechanism(self) -> str:
+        """"poisoning", "injection" or "none" (section 3.2-III)."""
+        if self.answer_hop is None:
+            return "none"
+        if self.answer_hop >= self.resolver_hop:
+            return "poisoning"
+        return "injection"
+
+
+def dns_iterative_trace(
+    world,
+    client: Host,
+    resolver_ip: str,
+    qname: str,
+    *,
+    max_ttl: Optional[int] = None,
+) -> DNSTraceResult:
+    """Determine where a manipulated DNS answer originates."""
+    network = world.network
+    result = DNSTraceResult(resolver_ip=resolver_ip, qname=qname)
+    result.resolver_hop = network.hop_count(client, resolver_ip)
+    if max_ttl is None:
+        max_ttl = result.resolver_hop
+    for ttl in range(1, max_ttl + 1):
+        lookup = dns_lookup(network, client, resolver_ip, qname,
+                            ttl=ttl, timeout=1.0)
+        if lookup.responded:
+            result.answer_hop = ttl
+            result.answer_ips = list(lookup.ips)
+            result.per_ttl.append("answered")
+            break
+        result.per_ttl.append("silent")
+    return result

@@ -1,0 +1,95 @@
+"""Vantage points: where measurements run from.
+
+A vantage point bundles a host, its region and its default resolver —
+either a client *inside* a measured ISP, or one of the external
+(PlanetLab/cloud-style) hosts used for outside-in probing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..dnssim.client import dns_lookup
+from ..dnssim.message import DNSLookupResult
+from ..httpsim.client import FetchResult, http_fetch
+from ..httpsim.message import GetRequestSpec
+from ..netsim.devices import Host
+
+
+@dataclass
+class VantagePoint:
+    """A measurement origin."""
+
+    world: object
+    host: Host
+    region: str
+    default_resolver_ip: str
+    label: str
+
+    # -- constructors ------------------------------------------------------
+
+    @classmethod
+    def inside(cls, world, isp_name: str) -> "VantagePoint":
+        """The measurement client inside *isp_name*."""
+        deployment = world.isp(isp_name)
+        return cls(
+            world=world,
+            host=deployment.client,
+            region="in",
+            default_resolver_ip=deployment.default_resolver_ip,
+            label=f"client@{isp_name}",
+        )
+
+    @classmethod
+    def external(cls, world, index: int = 0) -> "VantagePoint":
+        """One of the controlled hosts outside Indian ISPs."""
+        host = world.vantage_points[index]
+        return cls(
+            world=world,
+            host=host,
+            region="us",
+            default_resolver_ip=world.google_dns.ip,
+            label=f"vp{index}",
+        )
+
+    @classmethod
+    def all_external(cls, world) -> List["VantagePoint"]:
+        return [cls.external(world, i)
+                for i in range(len(world.vantage_points))]
+
+    # -- operations ------------------------------------------------------------
+
+    def resolve(self, domain: str,
+                resolver_ip: Optional[str] = None,
+                **kwargs) -> DNSLookupResult:
+        return dns_lookup(
+            self.world.network, self.host,
+            resolver_ip or self.default_resolver_ip, domain, **kwargs)
+
+    def fetch_ip(self, ip: str, request: bytes, **kwargs) -> FetchResult:
+        """Fetch a crafted request from a specific address."""
+        return http_fetch(self.world.network, self.host, ip, request,
+                          **kwargs)
+
+    def fetch_domain(self, domain: str, *,
+                     ip: Optional[str] = None,
+                     spec: Optional[GetRequestSpec] = None,
+                     **kwargs) -> Optional[FetchResult]:
+        """Resolve (unless pinned) and fetch like a browser would.
+
+        Returns None when resolution fails outright.
+        """
+        if ip is None:
+            lookup = self.resolve(domain)
+            if not lookup.ok:
+                return None
+            ip = lookup.ips[0]
+        if spec is None:
+            spec = GetRequestSpec(domain=domain)
+        return self.fetch_ip(ip, spec.to_bytes(), **kwargs)
+
+    def settle(self, duration: float = 0.5) -> None:
+        """Let in-flight traffic drain."""
+        network = self.world.network
+        network.run(until=network.now + duration)

@@ -1,0 +1,94 @@
+"""Client-side DNS lookups over the simulated network."""
+
+from __future__ import annotations
+
+import itertools
+from typing import List, Optional
+
+from ..netsim.devices import Host
+from ..netsim.engine import Network
+from ..netsim.packets import Packet, make_udp_packet
+from .message import DNS_PORT, DNSLookupResult, DNSQuery, DNSResponse
+
+DEFAULT_DNS_TIMEOUT = 2.0
+
+_client_ports = itertools.count(30000)
+
+
+def dns_lookup(
+    network: Network,
+    client: Host,
+    resolver_ip: str,
+    qname: str,
+    *,
+    timeout: float = DEFAULT_DNS_TIMEOUT,
+    ttl: int = 64,
+) -> DNSLookupResult:
+    """Resolve *qname* via *resolver_ip*; run the network until answered.
+
+    The query can be TTL-limited (the DNS variant of Iterative Network
+    Tracing sends the same query with increasing TTL to learn *which
+    hop* answers — a middlebox injecting en route, or the resolver
+    itself; section 3.2-III).
+    """
+    result = DNSLookupResult(qname=qname, resolver_ip=resolver_ip)
+    src_port = next(_client_ports)
+    query = DNSQuery(qname=qname)
+    packet = make_udp_packet(client.ip, resolver_ip, src_port, DNS_PORT,
+                             query, ttl=ttl)
+    started = network.now
+
+    def sniffer(now: float, incoming: Packet) -> None:
+        if result.responded or not incoming.is_udp:
+            return
+        payload = incoming.udp.payload
+        if not isinstance(payload, DNSResponse):
+            return
+        if payload.qid != query.qid or incoming.udp.dst_port != src_port:
+            return
+        result.responded = True
+        result.responder_ip = incoming.src
+        result.rcode = payload.rcode
+        result.ips = list(payload.ips)
+        result.rtt = now - started
+
+    client.add_sniffer(sniffer)
+    try:
+        client.send_packet(packet)
+        deadline = started + timeout
+        while not result.responded and network.now < deadline:
+            if network.pending_events == 0:
+                break
+            network.run(until=min(deadline, network.now + 0.25))
+        if not result.responded:
+            network.run(until=deadline)
+    finally:
+        client.remove_sniffer(sniffer)
+    return result
+
+
+def resolve_all(
+    network: Network,
+    client: Host,
+    resolver_ip: str,
+    qnames: List[str],
+    **kwargs,
+) -> List[DNSLookupResult]:
+    """Sequentially resolve many names through one resolver."""
+    return [dns_lookup(network, client, resolver_ip, qname, **kwargs)
+            for qname in qnames]
+
+
+def first_working_resolver(
+    network: Network,
+    client: Host,
+    resolver_ips: List[str],
+    probe_name: str,
+    **kwargs,
+) -> Optional[str]:
+    """Return the first resolver that answers for *probe_name*."""
+    for resolver_ip in resolver_ips:
+        result = dns_lookup(network, client, resolver_ip, probe_name, **kwargs)
+        if result.ok:
+            return resolver_ip
+    return None

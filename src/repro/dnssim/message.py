@@ -1,0 +1,64 @@
+"""DNS message model.
+
+Queries and responses travel as structured UDP payloads; a 16-bit query
+id ties them together exactly as in real DNS (the tracer matches
+injected vs. authoritative answers by qid).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+DNS_PORT = 53
+
+_qid_counter = itertools.count(1)
+
+
+def next_qid() -> int:
+    """A fresh query id (16-bit wrap)."""
+    return next(_qid_counter) & 0xFFFF
+
+
+@dataclass(frozen=True)
+class DNSQuery:
+    """An A-record question for *qname*."""
+
+    qname: str
+    qid: int = field(default_factory=next_qid)
+    qtype: str = "A"
+
+
+@dataclass(frozen=True)
+class DNSResponse:
+    """An answer: resolved addresses (empty means NXDOMAIN/SERVFAIL)."""
+
+    qname: str
+    qid: int
+    ips: tuple = ()
+    rcode: str = "NOERROR"
+    #: Stamped by the resolver that generated the answer; lets tests
+    #: distinguish poisoned-resolver answers from injected ones.
+    authority: str = ""
+
+    @property
+    def ok(self) -> bool:
+        return self.rcode == "NOERROR" and bool(self.ips)
+
+
+@dataclass
+class DNSLookupResult:
+    """Client-side outcome of one lookup attempt."""
+
+    qname: str
+    resolver_ip: str
+    ips: List[str] = field(default_factory=list)
+    rcode: Optional[str] = None
+    responded: bool = False
+    responder_ip: Optional[str] = None
+    rtt: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.responded and self.rcode == "NOERROR" and bool(self.ips)

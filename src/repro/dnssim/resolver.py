@@ -1,0 +1,121 @@
+"""Recursive resolvers: honest and poisoned.
+
+MTNL and BSNL censor by *DNS poisoning*: the ISP's own recursive
+resolvers answer queries for blocked domains with a manipulated
+address — a static ISP-owned IP or a bogon (section 3.2).  A poisoned
+resolver is otherwise perfectly functional, which is exactly what lets
+the paper's open-resolver scan find them: they resolve innocuous names
+correctly and lie only about their per-resolver blocklist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, FrozenSet, Optional
+
+from ..netsim.devices import Host
+from ..netsim.packets import Packet, make_udp_packet
+from .message import DNS_PORT, DNSQuery, DNSResponse
+from .zones import DEFAULT_REGION, GlobalDNS
+
+#: Chooses the lie told for a blocked domain; returns one address.
+PoisonStrategy = Callable[[str], str]
+
+
+@dataclass
+class ResolverConfig:
+    """Behavioural knobs for one recursive resolver."""
+
+    region: str = DEFAULT_REGION
+    #: Domains this resolver lies about (empty = honest resolver).
+    blocklist: FrozenSet[str] = frozenset()
+    #: How the lie is produced (required when blocklist is non-empty).
+    poison_strategy: Optional[PoisonStrategy] = None
+    #: Resolvers answering queries from anyone are "open" — the ones
+    #: the paper's scan enumerates.  Closed resolvers only answer
+    #: queries from inside their own prefixes (predicate provided).
+    open_to_world: bool = True
+    client_filter: Optional[Callable[[str], bool]] = None
+
+    @property
+    def is_poisoned(self) -> bool:
+        return bool(self.blocklist)
+
+
+class ResolverService:
+    """A recursive resolver installed on a simulated host (UDP 53)."""
+
+    def __init__(self, global_dns: GlobalDNS, config: ResolverConfig) -> None:
+        self.global_dns = global_dns
+        self.config = config
+        self.query_log: list = []
+
+    def install(self, host: Host) -> None:
+        host.bind_udp(DNS_PORT, self.handle)
+
+    def handle(self, host: Host, packet: Packet, now: float) -> None:
+        query = packet.udp.payload
+        if not isinstance(query, DNSQuery):
+            return
+        self.query_log.append((now, packet.src, query.qname))
+        if not self.config.open_to_world:
+            allowed = self.config.client_filter
+            if allowed is None or not allowed(packet.src):
+                return
+        response = self.answer(query, host.ip)
+        reply = make_udp_packet(
+            host.ip, packet.src, DNS_PORT, packet.udp.src_port, response,
+        )
+        host.send_packet(reply)
+
+    def answer(self, query: DNSQuery, own_ip: str) -> DNSResponse:
+        """Produce the (possibly poisoned) answer for *query*."""
+        domain = query.qname
+        if self._is_blocked(domain):
+            poison = self.config.poison_strategy
+            if poison is None:
+                raise ValueError(
+                    f"resolver {own_ip} has a blocklist but no poison strategy"
+                )
+            return DNSResponse(
+                qname=domain, qid=query.qid,
+                ips=(poison(domain),), authority=own_ip,
+            )
+        addresses = self.global_dns.lookup(domain, self.config.region)
+        if addresses is None:
+            return DNSResponse(qname=domain, qid=query.qid,
+                               rcode="NXDOMAIN", authority=own_ip)
+        return DNSResponse(qname=domain, qid=query.qid,
+                           ips=tuple(addresses), authority=own_ip)
+
+    def _is_blocked(self, domain: str) -> bool:
+        if domain in self.config.blocklist:
+            return True
+        # Poisoning also catches the www alias of a blocked name.
+        return domain.startswith("www.") and domain[4:] in self.config.blocklist
+
+
+def static_ip_poison(static_ip: str) -> PoisonStrategy:
+    """Every blocked domain resolves to one ISP-owned static address —
+    the pattern the paper's frequency analysis catches (section 3.2-II)."""
+    return lambda domain: static_ip
+
+
+def bogon_poison(bogon_ip: str = "127.0.0.2") -> PoisonStrategy:
+    """Blocked domains resolve to a bogon address."""
+    return lambda domain: bogon_ip
+
+
+def mixed_poison(static_ip: str, bogon_ip: str,
+                 bogon_fraction_hash: int = 4) -> PoisonStrategy:
+    """Deterministically mix static-IP and bogon lies per domain.
+
+    Roughly ``1/bogon_fraction_hash`` of blocked domains get the bogon
+    answer; the rest get the ISP static IP.  Both patterns appear in the
+    paper's observations.
+    """
+    def strategy(domain: str) -> str:
+        digest = sum(domain.encode("ascii", "ignore")) % bogon_fraction_hash
+        return bogon_ip if digest == 0 else static_ip
+
+    return strategy

@@ -1,0 +1,88 @@
+"""The global DNS view: authoritative name -> address data.
+
+CDN-hosted domains resolve to *different* addresses depending on the
+resolver's region — the hosting artifact that makes OONI's
+"compare against Google DNS" heuristic produce false positives
+(section 3.1), and that the authors' overlap heuristic handles
+correctly (section 3.2-II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Region labels used for CDN-aware resolution.
+REGIONS = ("in", "us", "eu", "apac")
+DEFAULT_REGION = "us"
+
+
+@dataclass
+class ZoneRecord:
+    """Authoritative data for one domain.
+
+    ``by_region`` maps region -> addresses served to resolvers in that
+    region; ``anycast`` addresses are returned everywhere (appended),
+    modelling the overlapping-IP-set behaviour real CDNs show.
+    """
+
+    domain: str
+    by_region: Dict[str, List[str]] = field(default_factory=dict)
+    anycast: List[str] = field(default_factory=list)
+
+    def addresses(self, region: str) -> List[str]:
+        regional = self.by_region.get(region)
+        if regional is None:
+            regional = self.by_region.get(DEFAULT_REGION, [])
+        return list(regional) + list(self.anycast)
+
+    def all_addresses(self) -> List[str]:
+        seen = []
+        for addresses in self.by_region.values():
+            for ip in addresses:
+                if ip not in seen:
+                    seen.append(ip)
+        for ip in self.anycast:
+            if ip not in seen:
+                seen.append(ip)
+        return seen
+
+
+class GlobalDNS:
+    """The (uncensored) authoritative DNS of the simulated Internet."""
+
+    def __init__(self) -> None:
+        self.zones: Dict[str, ZoneRecord] = {}
+
+    def add_simple(self, domain: str, ips: Sequence[str]) -> None:
+        """Register a domain resolving to the same set everywhere."""
+        self.zones[domain] = ZoneRecord(domain=domain, anycast=list(ips))
+
+    def add_regional(self, domain: str,
+                     by_region: Dict[str, Sequence[str]],
+                     anycast: Sequence[str] = ()) -> None:
+        """Register a CDN-style domain with per-region addresses."""
+        self.zones[domain] = ZoneRecord(
+            domain=domain,
+            by_region={region: list(ips) for region, ips in by_region.items()},
+            anycast=list(anycast),
+        )
+
+    def lookup(self, domain: str, region: str = DEFAULT_REGION) -> Optional[List[str]]:
+        """Authoritative answer for *domain* as seen from *region*."""
+        record = self.zones.get(domain)
+        if record is None and domain.startswith("www."):
+            record = self.zones.get(domain[4:])
+        if record is None:
+            return None
+        return record.addresses(region)
+
+    def all_addresses(self, domain: str) -> List[str]:
+        """Every address the domain can resolve to, any region."""
+        record = self.zones.get(domain)
+        if record is None:
+            return []
+        return record.all_addresses()
+
+    def __contains__(self, domain: str) -> bool:
+        return domain in self.zones

@@ -1,0 +1,59 @@
+"""repro.experiments — one module per paper table/figure/finding.
+
+Each module exposes ``run(world=None, ...)`` returning a result object
+with a ``render()`` method, plus ``PAPER_*`` constants carrying the
+published values for side-by-side comparison.  The benchmark harness
+under ``benchmarks/`` and the examples call straight into these.
+
+| Module              | Reproduces                                     |
+|---------------------|------------------------------------------------|
+| table1_ooni         | Table 1 (OONI precision/recall)                |
+| table2_http         | Table 2 (HTTP coverage, box types, blocked)    |
+| table3_collateral   | Table 3 (collateral damage)                    |
+| fig2_dns            | Figure 2 (DNS resolver consistency)            |
+| fig5_http           | Figure 5 (middlebox path consistency)          |
+| trigger_analysis    | §3.4-III/IV (what triggers censorship)         |
+| dns_mechanism       | §3.2-III (poisoning vs injection)              |
+| tcpip_filtering     | §3.3 (no TCP/IP filtering)                     |
+| statefulness        | §4.2.1 caveat (handshake gating, flow timeout) |
+| evasion_matrix      | §5 (anti-censorship effectiveness)             |
+| ooni_failures       | §3.1/§6.2 (anatomy of OONI's errors)           |
+"""
+
+from . import (
+    common,
+    dns_mechanism,
+    evasion_matrix,
+    fig2_dns,
+    fig5_http,
+    https_filtering,
+    idiosyncrasies,
+    ooni_failures,
+    statefulness,
+    table1_ooni,
+    table2_http,
+    table3_collateral,
+    tcpip_filtering,
+    trigger_analysis,
+)
+from .common import domain_sample, format_table, get_world
+
+__all__ = [
+    "common",
+    "dns_mechanism",
+    "domain_sample",
+    "evasion_matrix",
+    "fig2_dns",
+    "fig5_http",
+    "format_table",
+    "https_filtering",
+    "idiosyncrasies",
+    "get_world",
+    "ooni_failures",
+    "statefulness",
+    "table1_ooni",
+    "table2_http",
+    "table3_collateral",
+    "tcpip_filtering",
+    "trigger_analysis",
+]

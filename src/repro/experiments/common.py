@@ -1,0 +1,150 @@
+"""Shared experiment machinery: cached worlds, ground truth, rendering.
+
+Every experiment module exposes ``run(world=None, ...) -> Result`` where
+the result carries the measured numbers plus a ``render()`` producing
+the paper-style table, and module-level ``PAPER_*`` constants with the
+published values for side-by-side comparison.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from ..core.measure.fastprobe import (
+    canonical_payload,
+    express_dns_probe,
+    express_http_probe,
+)
+from ..isps.world import World, build_world
+from ..netsim.addressing import is_bogon
+
+_WORLD_CACHE: Dict[Tuple[int, float], World] = {}
+
+#: Environment knob: fraction of the PBW corpus experiment runs sweep.
+#: 1.0 regenerates the full tables; smaller values give quick looks.
+BENCH_FRACTION_ENV = "REPRO_BENCH_FRACTION"
+
+
+def get_world(seed: int = 1808, scale: float = 1.0) -> World:
+    """A cached full world for experiment runs."""
+    key = (seed, scale)
+    if key not in _WORLD_CACHE:
+        _WORLD_CACHE[key] = build_world(seed=seed, scale=scale)
+    return _WORLD_CACHE[key]
+
+
+def bench_fraction(default: float = 1.0) -> float:
+    """The corpus fraction experiments should sweep (env-overridable)."""
+    raw = os.environ.get(BENCH_FRACTION_ENV)
+    if not raw:
+        return default
+    try:
+        value = float(raw)
+    except ValueError:
+        return default
+    return min(1.0, max(0.01, value))
+
+
+def domain_sample(world: World, fraction: Optional[float] = None
+                  ) -> List[str]:
+    """A deterministic, evenly-spread corpus subset."""
+    domains = world.corpus.domains()
+    if fraction is None:
+        fraction = bench_fraction()
+    if fraction >= 1.0:
+        return domains
+    step = max(1, round(1.0 / fraction))
+    return domains[::step]
+
+
+# ---------------------------------------------------------------------------
+# Ground truth (express — exact modulo wiretap races, which retrying
+# measurement defeats anyway; validated against the manual oracle in
+# tests/measure/test_groundtruth.py)
+# ---------------------------------------------------------------------------
+
+def ground_truth_http(world: World, isp_name: str,
+                      domains: Optional[Iterable[str]] = None) -> Set[str]:
+    """Sites HTTP-censored for the ISP's client on its direct paths."""
+    client = world.client_of(isp_name)
+    if domains is None:
+        domains = world.corpus.domains()
+    censored: Set[str] = set()
+    for domain in domains:
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            censored.add(domain)
+    return censored
+
+
+def ground_truth_dns(world: World, isp_name: str,
+                     domains: Optional[Iterable[str]] = None) -> Set[str]:
+    """Sites whose resolution through the client's default resolver is
+    manipulated (bogon or ISP-internal answer)."""
+    deployment = world.isp(isp_name)
+    client = deployment.client
+    if domains is None:
+        domains = world.corpus.domains()
+    censored: Set[str] = set()
+    for domain in domains:
+        answer = express_dns_probe(world.network, client,
+                                   deployment.default_resolver_ip, domain)
+        if not answer.ok:
+            continue
+        for ip in answer.ips:
+            if is_bogon(ip) or deployment.pool.contains(ip):
+                censored.add(domain)
+                break
+    return censored
+
+
+def ground_truth_any(world: World, isp_name: str,
+                     domains: Optional[Iterable[str]] = None
+                     ) -> Dict[str, str]:
+    """domain -> mechanism ("dns" wins over "http", as for a browser)."""
+    domains = list(domains) if domains is not None \
+        else world.corpus.domains()
+    truth: Dict[str, str] = {}
+    for domain in ground_truth_http(world, isp_name, domains):
+        truth[domain] = "http"
+    for domain in ground_truth_dns(world, isp_name, domains):
+        truth[domain] = "dns"
+    return truth
+
+
+# ---------------------------------------------------------------------------
+# Rendering
+# ---------------------------------------------------------------------------
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence],
+                 title: str = "") -> str:
+    """Monospace table rendering for experiment outputs."""
+    columns = [[str(header)] for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            columns[index].append(_fmt(cell))
+    widths = [max(len(cell) for cell in column) for column in columns]
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header_line)
+    lines.append("-" * len(header_line))
+    for row_index in range(1, len(columns[0])):
+        lines.append("  ".join(
+            columns[col][row_index].ljust(widths[col])
+            for col in range(len(columns))))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    if isinstance(cell, tuple):
+        return "(" + ", ".join(_fmt(c) for c in cell) + ")"
+    return str(cell)

@@ -1,0 +1,95 @@
+"""Section 5 — anti-censorship effectiveness matrix.
+
+For each censoring ISP, try every proxy-free strategy against a sample
+of sites actually censored on the client's paths, and verify the
+paper's headline: every blocked site is reachable by at least one
+strategy, in every ISP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.evasion.engine import EvasionMatrix, evade_all, evaluate_matrix
+from ..core.evasion.strategies import STRATEGIES
+from ..core.measure.fastprobe import canonical_payload, express_http_probe
+from ..isps.profiles import HTTP_FILTERING_ISPS
+from .common import format_table, get_world
+
+#: The strategy the paper highlights per middlebox family.
+PAPER_EXPECTED = {
+    "airtel": {"host-keyword-case", "drop-fin-rst"},
+    "jio": {"host-keyword-case", "drop-fin-rst"},
+    "idea": {"host-value-whitespace", "host-value-tab",
+             "host-trailing-space"},
+    "vodafone": {"trailing-uncensored-host"},
+}
+
+
+@dataclass
+class EvasionExperimentResult:
+    matrices: Dict[str, EvasionMatrix] = field(default_factory=dict)
+    winners: Dict[str, Dict[str, Optional[str]]] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    def all_sites_evaded(self, isp: str) -> bool:
+        return all(winner is not None
+                   for winner in self.winners.get(isp, {}).values())
+
+    def render(self) -> str:
+        headers = ["ISP"] + [s.name for s in STRATEGIES] + ["all evaded"]
+        body = []
+        for isp, matrix in self.matrices.items():
+            row = [isp]
+            for strat in STRATEGIES:
+                rate = matrix.success_rate(strat.name)
+                cell = f"{rate:.0%}"
+                if strat.name in PAPER_EXPECTED.get(isp, ()):
+                    cell += "*"
+                row.append(cell)
+            row.append(self.all_sites_evaded(isp))
+            body.append(row)
+        for isp in self.skipped:
+            body.append([isp] + ["-"] * len(STRATEGIES)
+                        + ["no censored path"])
+        legend = "\n(* = strategy the paper reports for this ISP)"
+        return format_table(
+            headers, body,
+            title="Section 5: evasion strategy effectiveness") + legend
+
+
+def censored_sample(world, isp: str, limit: int) -> List[str]:
+    client = world.client_of(isp)
+    found: List[str] = []
+    for domain in sorted(world.blocklists.http.get(isp, ())):
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            found.append(domain)
+            if len(found) >= limit:
+                break
+    return found
+
+
+def run(world=None, isps=HTTP_FILTERING_ISPS,
+        sites_per_isp: int = 5) -> EvasionExperimentResult:
+    """Build the evasion matrix for every censoring ISP."""
+    if world is None:
+        world = get_world()
+    result = EvasionExperimentResult()
+    for isp in isps:
+        sample = censored_sample(world, isp, sites_per_isp)
+        if not sample:
+            result.skipped.append(isp)
+            continue
+        result.matrices[isp] = evaluate_matrix(world, isp, sample)
+        result.winners[isp] = evade_all(world, isp, sample)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

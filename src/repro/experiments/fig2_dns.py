@@ -1,0 +1,84 @@
+"""Figure 2 — consistency of DNS resolvers (MTNL vs BSNL).
+
+Open-resolver sweep over each ISP's address space, interrogation of
+every open resolver with the PBW list, then the Figure 2 series: for
+every website blocked by at least one poisoned resolver, the percentage
+of that ISP's poisoned resolvers blocking it — plus the coverage and
+consistency aggregates of section 4.1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.measure.metrics import blocking_series, consistency
+from ..core.measure.resolver_scan import ResolverScanResult, scan_isp_resolvers
+from ..isps.profiles import DNS_FILTERING_ISPS
+from .common import domain_sample, format_table, get_world
+
+#: Paper values: ISP -> (total resolvers, poisoned, coverage %, consistency %).
+PAPER_FIG2 = {
+    "mtnl": (448, 383, 77.0, 42.4),
+    "bsnl": (182, 17, 9.3, 7.5),
+}
+
+
+@dataclass
+class Fig2Result:
+    scans: Dict[str, ResolverScanResult] = field(default_factory=dict)
+    #: ISP -> [(site_id, % of poisoned resolvers blocking it)]
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    consistency: Dict[str, float] = field(default_factory=dict)
+
+    def coverage(self, isp: str) -> float:
+        return self.scans[isp].coverage
+
+    def render(self) -> str:
+        headers = ["ISP", "Resolvers", "Poisoned", "Coverage%",
+                   "Consistency%", "paper (tot, poi, cov%, cons%)"]
+        body = []
+        for isp, scan in self.scans.items():
+            body.append([
+                isp,
+                len(scan.open_resolvers),
+                len(scan.censorious),
+                round(scan.coverage * 100, 1),
+                round(self.consistency[isp] * 100, 1),
+                PAPER_FIG2.get(isp, "-"),
+            ])
+        return format_table(headers, body,
+                            title="Figure 2 aggregates: DNS resolver "
+                                  "coverage and consistency")
+
+    def render_series(self, isp: str, limit: int = 20) -> str:
+        rows = [(site_id, round(pct, 1))
+                for site_id, pct in self.series[isp][:limit]]
+        return format_table(["Website ID", "% resolvers blocking"], rows,
+                            title=f"Figure 2 series ({isp}, first {limit})")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        isps=DNS_FILTERING_ISPS) -> Fig2Result:
+    """Regenerate Figure 2."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world)
+    site_ids = {site.domain: site.site_id for site in world.corpus}
+    result = Fig2Result()
+    for isp in isps:
+        scan = scan_isp_resolvers(world, isp, domains)
+        result.scans[isp] = scan
+        per_resolver = dict(scan.censorious)
+        result.consistency[isp] = consistency(per_resolver)
+        result.series[isp] = blocking_series(per_resolver, site_ids)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    outcome = run()
+    print(outcome.render())
+    for isp in outcome.scans:
+        print()
+        print(outcome.render_series(isp))

@@ -1,0 +1,79 @@
+"""Figure 5 — consistency of HTTP middleboxes (Airtel, Vodafone, Idea).
+
+Reuses the inside-VP coverage campaign's per-path blocked sets: for
+every website blocked on at least one poisoned path, the percentage of
+poisoned paths blocking it, and the per-ISP averages the paper quotes
+(Idea 76.8%, Airtel 12.3%, Vodafone 11.6%).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..core.measure.coverage import CoverageResult, measure_coverage_inside
+from ..core.measure.metrics import blocking_series
+from .common import domain_sample, format_table, get_world
+
+#: Paper consistency averages (percent).
+PAPER_FIG5 = {
+    "idea": 76.8,
+    "airtel": 12.3,
+    "vodafone": 11.6,
+}
+
+FIG5_ISPS = ("airtel", "vodafone", "idea")
+
+
+@dataclass
+class Fig5Result:
+    campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
+    series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+
+    def consistency(self, isp: str) -> float:
+        return self.campaigns[isp].consistency
+
+    def render(self) -> str:
+        headers = ["ISP", "Poisoned paths", "Consistency%", "paper%"]
+        body = []
+        for isp, campaign in self.campaigns.items():
+            body.append([
+                isp,
+                f"{campaign.n_poisoned}/{campaign.n_paths}",
+                round(campaign.consistency * 100, 1),
+                PAPER_FIG5.get(isp, "-"),
+            ])
+        return format_table(headers, body,
+                            title="Figure 5 aggregates: middlebox "
+                                  "consistency per ISP")
+
+    def render_series(self, isp: str, limit: int = 20) -> str:
+        rows = [(site_id, round(pct, 1))
+                for site_id, pct in self.series[isp][:limit]]
+        return format_table(["Website ID", "% paths blocking"], rows,
+                            title=f"Figure 5 series ({isp}, first {limit})")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        isps=FIG5_ISPS) -> Fig5Result:
+    """Regenerate Figure 5."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world)
+    site_ids = {site.domain: site.site_id for site in world.corpus}
+    result = Fig5Result()
+    for isp in isps:
+        campaign = measure_coverage_inside(world, isp, domains=domains)
+        result.campaigns[isp] = campaign
+        result.series[isp] = blocking_series(campaign.per_path_blocked(),
+                                             site_ids)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    outcome = run()
+    print(outcome.render())
+    for isp in outcome.campaigns:
+        print()
+        print(outcome.render_series(isp))

@@ -1,0 +1,105 @@
+"""Section 4.2.1 caveat — are the middleboxes stateful?
+
+Runs the five handshake probes and the flow-timeout bracketing against
+every HTTP-censoring ISP with a reachable box on a controlled-server
+path.  Expected outcome, everywhere: inspection begins only after a
+complete 3-way handshake, and idle flow state is purged after 2–3
+minutes (restartable by fresh packets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.classify import find_controlled_target
+from ..core.measure.stateful import (
+    FlowTimeoutEstimate,
+    StatefulnessReport,
+    estimate_flow_timeout,
+    probe_statefulness,
+)
+from ..isps.profiles import HTTP_FILTERING_ISPS
+from .common import format_table, get_world
+
+#: Idle durations used to bracket the 150 s purge.
+TIMEOUT_CANDIDATES = (60.0, 140.0, 170.0)
+
+
+@dataclass
+class StatefulnessResult:
+    reports: Dict[str, StatefulnessReport] = field(default_factory=dict)
+    timeouts: Dict[str, FlowTimeoutEstimate] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["ISP", "no-hs", "SYN-only", "SYNACK-first",
+                   "no-final-ACK", "full-hs", "stateful",
+                   "timeout bracket (s)"]
+        body = []
+        for isp, report in self.reports.items():
+            bracket = self.timeouts.get(isp)
+            bracket_text = "-"
+            if bracket is not None:
+                bracket_text = (f"({bracket.lower_bound}, "
+                                f"{bracket.upper_bound})")
+            body.append([
+                isp, report.no_handshake, report.syn_only,
+                report.synack_first, report.missing_final_ack,
+                report.full_handshake, report.stateful, bracket_text,
+            ])
+        for isp in self.skipped:
+            body.append([isp, "-", "-", "-", "-", "-", "-",
+                         "no censored path"])
+        return format_table(
+            headers, body,
+            title="Section 4.2.1: middlebox statefulness probes")
+
+
+def run(world=None, isps=HTTP_FILTERING_ISPS,
+        with_timeout: bool = True) -> StatefulnessResult:
+    """Run statefulness probing for every HTTP-censoring ISP."""
+    if world is None:
+        world = get_world()
+    result = StatefulnessResult()
+    for isp in isps:
+        candidates = sorted(world.blocklists.http.get(isp, ()))
+        server, domain = find_controlled_target(world, isp, candidates)
+        if server is not None:
+            dst_ip = server.ip
+        else:
+            # No controlled host behind a box — probe against a
+            # censored site directly (the TTL-limited GETs never reach
+            # it, so the box remains the only possible responder).
+            domain, dst_ip = _censored_site_target(world, isp, candidates)
+            if domain is None:
+                result.skipped.append(isp)
+                continue
+        result.reports[isp] = probe_statefulness(world, isp, domain, dst_ip)
+        if with_timeout:
+            result.timeouts[isp] = estimate_flow_timeout(
+                world, isp, domain, dst_ip,
+                idle_candidates=TIMEOUT_CANDIDATES)
+    return result
+
+
+def _censored_site_target(world, isp: str, candidates):
+    from ..core.measure.fastprobe import (
+        canonical_payload,
+        express_http_probe,
+    )
+
+    client = world.client_of(isp)
+    for domain in candidates:
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            return domain, dst_ip
+    return None, None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

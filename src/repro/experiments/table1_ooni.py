@@ -1,0 +1,111 @@
+"""Table 1 — Accuracy of OONI: precision and recall per ISP.
+
+Runs the OONI ``web_connectivity`` model over the PBW list from inside
+each of the five tested ISPs, establishes ground truth behaviourally,
+and reports (P, R) for Total / DNS / TCP / HTTP censorship — the cells
+of the paper's Table 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.metrics import PrecisionRecall, precision_recall
+from ..core.measure.ooni import (
+    BLOCKING_DNS,
+    BLOCKING_HTTP,
+    BLOCKING_TCP,
+    OONIRun,
+    run_ooni,
+)
+from ..isps.profiles import OONI_TESTED_ISPS
+from .common import domain_sample, format_table, get_world, ground_truth_any
+
+#: Paper values: ISP -> {column: (precision, recall)}.
+PAPER_TABLE1 = {
+    "mtnl": {"total": (0.57, 0.42), "dns": (0.44, 0.10),
+             "tcp": (0.0, 0.0), "http": (0.60, 0.64)},
+    "airtel": {"total": (0.19, 0.11), "dns": (0.0, 0.0),
+               "tcp": (0.0, 0.0), "http": (0.19, 0.11)},
+    "idea": {"total": (0.57, 0.62), "dns": (0.0, 0.0),
+             "tcp": (0.0, 0.0), "http": (0.57, 0.62)},
+    "vodafone": {"total": (0.69, 0.82), "dns": (0.0, 0.0),
+                 "tcp": (0.0, 0.0), "http": (0.70, 0.78)},
+    "jio": {"total": (0.34, 0.15), "dns": (0.0, 0.0),
+            "tcp": (0.0, 0.0), "http": (0.36, 0.14)},
+}
+
+
+@dataclass
+class Table1Row:
+    isp: str
+    total: PrecisionRecall = None
+    dns: PrecisionRecall = None
+    tcp: PrecisionRecall = None
+    http: PrecisionRecall = None
+    ooni_flagged: int = 0
+    actually_censored: int = 0
+
+
+@dataclass
+class Table1Result:
+    rows: List[Table1Row] = field(default_factory=list)
+    runs: Dict[str, OONIRun] = field(default_factory=dict)
+
+    def row(self, isp: str) -> Table1Row:
+        for row in self.rows:
+            if row.isp == isp:
+                return row
+        raise KeyError(isp)
+
+    def render(self) -> str:
+        headers = ["ISP", "Total(P,R)", "DNS(P,R)", "TCP(P,R)",
+                   "HTTP(P,R)", "paper Total", "paper HTTP"]
+        body = []
+        for row in self.rows:
+            paper = PAPER_TABLE1.get(row.isp, {})
+            body.append([
+                row.isp,
+                row.total.as_tuple(),
+                row.dns.as_tuple(),
+                row.tcp.as_tuple(),
+                row.http.as_tuple(),
+                paper.get("total", "-"),
+                paper.get("http", "-"),
+            ])
+        return format_table(
+            headers, body,
+            title="Table 1: Accuracy of OONI — precision and recall")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        isps=OONI_TESTED_ISPS) -> Table1Result:
+    """Regenerate Table 1."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world)
+    result = Table1Result()
+    for isp in isps:
+        ooni = run_ooni(world, isp, domains)
+        result.runs[isp] = ooni
+        truth = ground_truth_any(world, isp, domains)
+        actual_all = set(truth)
+        actual_dns = {d for d, m in truth.items() if m == "dns"}
+        actual_http = {d for d, m in truth.items() if m == "http"}
+        row = Table1Row(
+            isp=isp,
+            total=precision_recall(ooni.flagged(), actual_all),
+            dns=precision_recall(ooni.flagged(BLOCKING_DNS), actual_dns),
+            tcp=precision_recall(ooni.flagged(BLOCKING_TCP), set()),
+            http=precision_recall(ooni.flagged(BLOCKING_HTTP), actual_http),
+            ooni_flagged=len(ooni.flagged()),
+            actually_censored=len(actual_all),
+        )
+        result.rows.append(row)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,127 @@
+"""Table 2 — HTTP filtering in different ISPs.
+
+Per HTTP-censoring ISP: coverage from a vantage point inside the ISP
+(Alexa-1000 destinations), coverage from vantage points outside
+(two live hosts per prefix), the middlebox family established by the
+controlled-server experiment, and the number of PBWs observed blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.classify import (
+    classify_by_behaviour,
+    classify_middlebox,
+    find_controlled_target,
+)
+from ..core.measure.fastprobe import canonical_payload, express_http_probe
+from ..core.measure.coverage import (
+    CoverageResult,
+    measure_coverage_inside,
+    measure_coverage_outside,
+)
+from ..isps.profiles import HTTP_FILTERING_ISPS
+from .common import domain_sample, format_table, get_world
+
+#: Paper values: ISP -> (inside %, outside %, box type, websites blocked).
+PAPER_TABLE2 = {
+    "airtel": (75.2, 54.2, "WM", 234),
+    "idea": (92.0, 90.0, "IM", 338),
+    "vodafone": (11.0, 2.5, "IM", 483),
+    "jio": (6.4, 0.0, "WM", 200),
+}
+
+_KIND_ABBREV = {"wiretap": "WM", "interceptive": "IM"}
+
+
+@dataclass
+class Table2Row:
+    isp: str
+    inside_coverage: float = 0.0
+    outside_coverage: float = 0.0
+    middlebox_type: str = "?"
+    websites_blocked: int = 0
+
+
+@dataclass
+class Table2Result:
+    rows: List[Table2Row] = field(default_factory=list)
+    inside_campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
+    outside_campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
+
+    def row(self, isp: str) -> Table2Row:
+        for row in self.rows:
+            if row.isp == isp:
+                return row
+        raise KeyError(isp)
+
+    def render(self) -> str:
+        headers = ["ISP", "Cov% (inside)", "Cov% (outside)", "Type",
+                   "Blocked", "paper (in, out, type, blocked)"]
+        body = []
+        for row in self.rows:
+            body.append([
+                row.isp,
+                round(row.inside_coverage * 100, 1),
+                round(row.outside_coverage * 100, 1),
+                row.middlebox_type,
+                row.websites_blocked,
+                PAPER_TABLE2.get(row.isp, "-"),
+            ])
+        return format_table(headers, body,
+                            title="Table 2: HTTP filtering in different ISPs")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        isps=HTTP_FILTERING_ISPS, classify: bool = True) -> Table2Result:
+    """Regenerate Table 2."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world)
+    result = Table2Result()
+    for isp in isps:
+        inside = measure_coverage_inside(world, isp, domains=domains)
+        outside = measure_coverage_outside(world, isp, domains=domains)
+        result.inside_campaigns[isp] = inside
+        result.outside_campaigns[isp] = outside
+        kind = "?"
+        if classify:
+            kind = _classify(world, isp) or "?"
+        result.rows.append(Table2Row(
+            isp=isp,
+            inside_coverage=inside.coverage,
+            outside_coverage=outside.coverage,
+            middlebox_type=kind,
+            websites_blocked=len(inside.blocked_union()),
+        ))
+    return result
+
+
+def _classify(world, isp: str) -> Optional[str]:
+    candidates = sorted(world.blocklists.http.get(isp, ()))
+    server, domain = find_controlled_target(world, isp, candidates)
+    if server is not None:
+        classification = classify_middlebox(world, isp, domain,
+                                            server_host=server, attempts=8)
+        return _KIND_ABBREV.get(classification.kind, classification.kind)
+    # No controlled host behind a box: fall back to the client-side
+    # behavioural discriminator against a censored site itself.
+    client = world.client_of(isp)
+    for candidate in candidates:
+        dst_ip = world.hosting.ip_for(candidate, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(candidate))
+        if verdict.censored:
+            behavioural = classify_by_behaviour(world, isp, candidate,
+                                                dst_ip, attempts=8)
+            return _KIND_ABBREV.get(behavioural.kind, behavioural.kind)
+    return None
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,76 @@
+"""Table 3 — collateral damage within Indian ISPs.
+
+From a client in each non-censoring stub ISP, fetch the PBW list and
+attribute every censorship event to the neighbouring transit ISP that
+caused it (notification fingerprints; path heuristics for covert
+resets).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.collateral import (
+    CollateralReport,
+    measure_collateral_express,
+)
+from ..isps.profiles import COLLATERAL_ISPS
+from .common import domain_sample, format_table, get_world
+
+#: Paper values: stub -> {neighbour: blocked count}.
+PAPER_TABLE3 = {
+    "nkn": {"vodafone": 69, "tata": 8},
+    "sify": {"tata": 142, "airtel": 2},
+    "siti": {"airtel": 110},
+    "mtnl": {"tata": 134, "airtel": 25},
+    "bsnl": {"tata": 156, "airtel": 1},
+}
+
+
+@dataclass
+class Table3Result:
+    reports: Dict[str, CollateralReport] = field(default_factory=dict)
+
+    def counts(self, stub: str) -> Dict[str, int]:
+        return self.reports[stub].counts()
+
+    def dominant_neighbour(self, stub: str) -> Optional[str]:
+        counts = self.counts(stub)
+        if not counts:
+            return None
+        return max(counts, key=counts.get)
+
+    def render(self) -> str:
+        headers = ["Stub ISP", "Neighbours (measured)", "paper"]
+        body = []
+        for stub, report in self.reports.items():
+            measured = ", ".join(
+                f"{neighbour} ({count})"
+                for neighbour, count in sorted(report.counts().items(),
+                                               key=lambda kv: -kv[1]))
+            paper = ", ".join(
+                f"{neighbour} ({count})"
+                for neighbour, count in PAPER_TABLE3.get(stub, {}).items())
+            body.append([stub, measured or "-", paper])
+        return format_table(
+            headers, body,
+            title="Table 3: Collateral damage from censorious neighbours")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        stubs=COLLATERAL_ISPS) -> Table3Result:
+    """Regenerate Table 3."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world)
+    result = Table3Result()
+    for stub in stubs:
+        result.reports[stub] = measure_collateral_express(world, stub,
+                                                          domains)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

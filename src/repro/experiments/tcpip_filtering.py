@@ -1,0 +1,56 @@
+"""Section 3.3 — TCP/IP packet-filtering test.
+
+Five handshakes, two virtual seconds apart, for Tor-reachable PBWs
+from inside every ISP.  The paper's (negative) finding: no Indian ISP
+filters on network/transport headers — and neither does any deployment
+in this world.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.tcpip import TCPIPFilterReport, detect_tcpip_filtering
+from ..isps.profiles import OONI_TESTED_ISPS
+from .common import domain_sample, format_table, get_world
+
+
+@dataclass
+class TCPIPExperimentResult:
+    reports: Dict[str, TCPIPFilterReport] = field(default_factory=dict)
+
+    @property
+    def any_filtering(self) -> bool:
+        return any(report.any_filtering for report in self.reports.values())
+
+    def render(self) -> str:
+        headers = ["ISP", "sites tested", "filtered", "finding"]
+        body = []
+        for isp, report in self.reports.items():
+            filtered = report.filtered_domains()
+            body.append([
+                isp, len(report.successes), len(filtered),
+                "TCP/IP filtering" if filtered else "none (as in paper)",
+            ])
+        return format_table(headers, body,
+                            title="Section 3.3: TCP/IP filtering test")
+
+
+def run(world=None, domains: Optional[List[str]] = None,
+        isps=OONI_TESTED_ISPS, sites_per_isp: int = 25
+        ) -> TCPIPExperimentResult:
+    """Run the five-handshake test in every ISP."""
+    if world is None:
+        world = get_world()
+    if domains is None:
+        domains = domain_sample(world, fraction=None)
+    result = TCPIPExperimentResult()
+    for isp in isps:
+        result.reports[isp] = detect_tcpip_filtering(
+            world, isp, domains[:sites_per_isp])
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

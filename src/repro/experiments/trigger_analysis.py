@@ -1,0 +1,76 @@
+"""Section 3.4-III/IV — what triggers censorship, per ISP.
+
+For every HTTP-censoring ISP, find a (site, path) pair with a live
+middlebox and run the full trigger battery: paired TTL n−1/n requests,
+crafted-header bypass, and Host-offset fudging.  The paper's conclusion
+— request-only inspection keyed solely on the Host field — must hold
+for every ISP.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.measure.fastprobe import canonical_payload, express_http_probe
+from ..core.measure.trigger import TriggerAnalysis, analyze_trigger
+from ..isps.profiles import HTTP_FILTERING_ISPS
+from .common import format_table, get_world
+
+
+@dataclass
+class TriggerExperimentResult:
+    analyses: Dict[str, TriggerAnalysis] = field(default_factory=dict)
+    skipped: List[str] = field(default_factory=list)
+
+    def render(self) -> str:
+        headers = ["ISP", "TTL n-1 censored", "crafted bypass",
+                   "Host-only trigger", "conclusion"]
+        body = []
+        for isp, analysis in self.analyses.items():
+            body.append([
+                isp,
+                analysis.censored_at_ttl_n_minus_1,
+                analysis.crafted_variant_bypassing or "-",
+                analysis.host_field_triggers
+                and not analysis.domain_in_path_triggers,
+                "request-only" if "request-only" in analysis.conclusion
+                else "inconclusive",
+            ])
+        for isp in self.skipped:
+            body.append([isp, "-", "-", "-", "no censored path found"])
+        return format_table(
+            headers, body,
+            title="Section 3.4: what triggers the middleboxes")
+
+
+def _censored_target(world, isp: str):
+    client = world.client_of(isp)
+    for domain in sorted(world.blocklists.http.get(isp, ())):
+        dst_ip = world.hosting.ip_for(domain, region="in")
+        if dst_ip is None:
+            continue
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            return domain, dst_ip
+    return None, None
+
+
+def run(world=None, isps=HTTP_FILTERING_ISPS) -> TriggerExperimentResult:
+    """Run the trigger analysis for every HTTP-censoring ISP."""
+    if world is None:
+        world = get_world()
+    result = TriggerExperimentResult()
+    for isp in isps:
+        domain, dst_ip = _censored_target(world, isp)
+        if domain is None:
+            result.skipped.append(isp)
+            continue
+        result.analyses[isp] = analyze_trigger(world, isp, domain,
+                                               dst_ip=dst_ip)
+    return result
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

@@ -1,0 +1,117 @@
+"""Server-side HTTP request parsing — RFC 2616 style, lenient.
+
+The evasions of section 5 exploit a parsing *asymmetry*: origin servers
+follow RFC 2616 (header names case-insensitive, linear whitespace
+around values tolerated) while middleboxes do exact string matching.
+This module implements the *server* side of that asymmetry.  Middlebox
+matching lives in :mod:`repro.middlebox.triggers`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+_KNOWN_METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "TRACE"}
+
+
+@dataclass
+class ParsedRequest:
+    """One request unit extracted from a TCP byte stream.
+
+    ``malformed`` is set (with a reason) when the unit does not parse as
+    a valid request — the server answers 400 Bad Request, which is how
+    the covert-IM evasion's trailing pseudo-request gets answered.
+    """
+
+    method: str = ""
+    path: str = ""
+    version: str = ""
+    headers: List[Tuple[str, str]] = field(default_factory=list)
+    malformed: Optional[str] = None
+    raw: bytes = b""
+
+    def header(self, name: str) -> Optional[str]:
+        """First header value matching *name* case-insensitively,
+        with surrounding linear whitespace stripped (RFC 2616 §4.2)."""
+        wanted = name.lower()
+        for header_name, value in self.headers:
+            if header_name.lower() == wanted:
+                return value
+        return None
+
+    def header_values(self, name: str) -> List[str]:
+        wanted = name.lower()
+        return [value for header_name, value in self.headers
+                if header_name.lower() == wanted]
+
+    @property
+    def host(self) -> Optional[str]:
+        return self.header("Host")
+
+
+def split_request_units(stream: bytes) -> List[bytes]:
+    """Split a request byte stream at CRLF CRLF boundaries.
+
+    Servers treat ``\\r\\n\\r\\n`` as end-of-request; whatever follows is
+    the next (pipelined) request unit.  A trailing fragment without the
+    terminator is still returned (it will parse as malformed/incomplete).
+    """
+    units = []
+    rest = stream
+    while rest:
+        head, sep, after = rest.partition(b"\r\n\r\n")
+        if not sep:
+            units.append(rest)
+            break
+        units.append(head + sep)
+        rest = after
+    return units
+
+
+def parse_request_unit(raw: bytes) -> ParsedRequest:
+    """Parse one request unit leniently (RFC 2616 server behaviour)."""
+    request = ParsedRequest(raw=raw)
+    text = raw.decode("latin-1", errors="replace")
+    lines = text.split("\r\n")
+    request_line = lines[0].strip()
+    parts = request_line.split()
+    if len(parts) != 3:
+        request.malformed = "bad-request-line"
+        return request
+    method, path, version = parts
+    if method.upper() not in _KNOWN_METHODS:
+        request.malformed = "unknown-method"
+        return request
+    if not version.upper().startswith("HTTP/"):
+        request.malformed = "bad-version"
+        return request
+    request.method = method.upper()
+    request.path = path
+    request.version = version.upper()
+    for line in lines[1:]:
+        if not line.strip():
+            continue
+        name, colon, value = line.partition(":")
+        if not colon:
+            request.malformed = "bad-header-line"
+            return request
+        # RFC 2616: field names are case-insensitive tokens; any amount
+        # of leading/trailing LWS around the value is semantically
+        # irrelevant.  This is precisely why "Host:  blocked.com " and
+        # "HOst: blocked.com" reach the origin intact while strict
+        # middlebox matchers miss them.
+        request.headers.append((name.strip(), value.strip()))
+    host_values = request.header_values("Host")
+    if request.version == "HTTP/1.1":
+        if not host_values:
+            request.malformed = "missing-host"
+        elif len(set(host_values)) > 1:
+            # RFC 7230 §5.4: multiple differing Host fields -> 400.
+            request.malformed = "duplicate-host"
+    return request
+
+
+def parse_request_stream(stream: bytes) -> List[ParsedRequest]:
+    """Parse an entire client byte stream into request units."""
+    return [parse_request_unit(unit) for unit in split_request_units(stream)]

@@ -1,0 +1,50 @@
+"""repro.isps — ISP models: profiles, builders and world assembly."""
+
+from .builder import ISPBuilder, ISPDeployment
+from .profiles import (
+    COLLATERAL_ISPS,
+    DNS_FILTERING_ISPS,
+    DNS_POISON,
+    HTTP_FILTERING_ISPS,
+    HTTP_IM_COVERT,
+    HTTP_IM_OVERT,
+    HTTP_WM,
+    ISPProfile,
+    NONE,
+    OONI_TESTED_ISPS,
+    PROFILES,
+    profile,
+)
+from .world import (
+    CONTROL_SERVER_IP,
+    DEFAULT_SEED,
+    GOOGLE_DNS_IP,
+    REMOTE_SERVER_IP,
+    TOR_EXIT_IP,
+    World,
+    build_world,
+)
+
+__all__ = [
+    "COLLATERAL_ISPS",
+    "CONTROL_SERVER_IP",
+    "DEFAULT_SEED",
+    "DNS_FILTERING_ISPS",
+    "DNS_POISON",
+    "GOOGLE_DNS_IP",
+    "HTTP_FILTERING_ISPS",
+    "HTTP_IM_COVERT",
+    "HTTP_IM_OVERT",
+    "HTTP_WM",
+    "ISPBuilder",
+    "ISPDeployment",
+    "ISPProfile",
+    "NONE",
+    "OONI_TESTED_ISPS",
+    "PROFILES",
+    "REMOTE_SERVER_IP",
+    "TOR_EXIT_IP",
+    "World",
+    "build_world",
+    "profile",
+]

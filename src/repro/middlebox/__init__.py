@@ -1,0 +1,58 @@
+"""repro.middlebox — the censorship infrastructure models.
+
+Implements the two HTTP middlebox families the paper characterizes —
+wiretap (out-of-band injectors; Airtel, Jio) and interceptive (in-path
+proxies; Idea, Vodafone) — plus DNS injection (built to contrast with
+the resolver poisoning actually found in MTNL/BSNL), stateful flow
+tracking, per-box trigger disciplines, and per-ISP notification pages.
+"""
+
+from .base import Middlebox
+from .dns_injector import DNSInjectorMiddlebox
+from .flowstate import (
+    DEFAULT_FLOW_TIMEOUT,
+    ESTABLISHED,
+    FlowRecord,
+    FlowTable,
+    SYNACK_SEEN,
+    SYN_SEEN,
+)
+from .interceptive import (
+    COVERT,
+    FORGED_RST_SEQ_OFFSET,
+    InterceptiveMiddlebox,
+    OVERT,
+)
+from .notification import (
+    NOTIFICATION_PROFILES,
+    NotificationProfile,
+    identify_isp,
+    looks_like_block_page,
+    profile_for,
+)
+from .triggers import TriggerSpec, TriggerStats, browser_canonical_line
+from .wiretap import WiretapMiddlebox
+
+__all__ = [
+    "COVERT",
+    "DEFAULT_FLOW_TIMEOUT",
+    "DNSInjectorMiddlebox",
+    "ESTABLISHED",
+    "FORGED_RST_SEQ_OFFSET",
+    "FlowRecord",
+    "FlowTable",
+    "InterceptiveMiddlebox",
+    "Middlebox",
+    "NOTIFICATION_PROFILES",
+    "NotificationProfile",
+    "OVERT",
+    "SYNACK_SEEN",
+    "SYN_SEEN",
+    "TriggerSpec",
+    "TriggerStats",
+    "WiretapMiddlebox",
+    "browser_canonical_line",
+    "identify_isp",
+    "looks_like_block_page",
+    "profile_for",
+]

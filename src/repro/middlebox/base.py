@@ -1,0 +1,81 @@
+"""Common middlebox machinery."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional, Sequence
+
+from ..netsim.addressing import Prefix, ip_in_prefixes
+from ..netsim.packets import Packet
+from .flowstate import FlowTable
+from .triggers import TriggerSpec, TriggerStats
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.devices import Router
+
+
+class Middlebox:
+    """Base class: identity, flow table, scoping, statistics."""
+
+    #: "wiretap" or "interceptive"; set by subclasses.
+    kind: str = "abstract"
+
+    def __init__(
+        self,
+        name: str,
+        isp: str,
+        spec: TriggerSpec,
+        *,
+        flow_timeout: float = 150.0,
+        source_prefixes: Optional[Sequence[Prefix]] = None,
+        require_handshake: bool = True,
+    ) -> None:
+        self.name = name
+        self.isp = isp
+        self.spec = spec
+        self.flows = FlowTable(timeout=flow_timeout)
+        #: The Indian boxes inspect only handshake-complete flows
+        #: (section 4.2.1).  False models a stateless packet matcher —
+        #: used by the ablation benchmarks to show the statefulness
+        #: probes actually discriminate.
+        self.require_handshake = require_handshake
+        #: When set, only flows whose *client* address falls inside
+        #: these prefixes are inspected — the behaviour hypothesised for
+        #: Reliance Jio, whose middleboxes are invisible to probes from
+        #: outside the ISP (section 4.2.2).
+        self.source_prefixes = (
+            list(source_prefixes) if source_prefixes else None
+        )
+        self.stats = TriggerStats()
+        self.router: Optional["Router"] = None
+        #: (time, domain, client_ip, server_ip) tuples for every trigger.
+        self.trigger_log: List[tuple] = []
+
+    def attach(self, router: "Router") -> None:
+        self.router = router
+
+    def in_scope(self, client_ip: str) -> bool:
+        """Is this flow's client inside the box's source scope?"""
+        if self.source_prefixes is None:
+            return True
+        return ip_in_prefixes(client_ip, self.source_prefixes)
+
+    def is_client_to_server_http(self, packet: Packet) -> bool:
+        """Is this a client-side payload packet on an inspected port?"""
+        if not packet.is_tcp:
+            return False
+        segment = packet.tcp
+        return bool(segment.payload) and self.spec.inspects_port(segment.dst_port)
+
+    def would_trigger(self, payload: bytes) -> Optional[str]:
+        """Pure trigger check (used by the express probing layer)."""
+        return self.spec.matched_domain(payload)
+
+    def flow_gate_open(self, record) -> bool:
+        """Is this flow eligible for inspection?"""
+        if not self.require_handshake:
+            return True
+        return record is not None and record.state == "ESTABLISHED"
+
+    def __repr__(self) -> str:
+        where = self.router.name if self.router is not None else "unattached"
+        return f"<{type(self).__name__} {self.name} ({self.isp}) at {where}>"

@@ -1,0 +1,75 @@
+"""DNS-injecting middlebox.
+
+India's DNS censorship turned out to be *resolver poisoning*, not
+on-path injection (section 3.2-III: manipulated answers only ever came
+from the last hop).  This injector implements the alternative mechanism
+— the one China uses — precisely so the DNS variant of the Iterative
+Network Tracer can be shown to distinguish the two: an injector answers
+from an intermediate hop, a poisoned resolver answers only from the
+final hop.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Callable, FrozenSet
+
+from ..netsim.engine import CONSUMED, FORWARD
+from ..netsim.packets import Packet, make_udp_packet
+from ..dnssim.message import DNS_PORT, DNSQuery, DNSResponse
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..netsim.devices import Router
+
+
+class DNSInjectorMiddlebox:
+    """Inline middlebox forging DNS answers for blocked names."""
+
+    kind = "dns-injector"
+
+    def __init__(
+        self,
+        name: str,
+        isp: str,
+        blocklist: FrozenSet[str],
+        poison_strategy: Callable[[str], str],
+        *,
+        forward_query: bool = True,
+    ) -> None:
+        self.name = name
+        self.isp = isp
+        self.blocklist = blocklist
+        self.poison_strategy = poison_strategy
+        #: GFW-style injectors let the genuine query continue (the
+        #: client then receives *two* answers); set False for a
+        #: swallowing injector.
+        self.forward_query = forward_query
+        self.router = None
+        self.injection_log: list = []
+
+    def attach(self, router: "Router") -> None:
+        self.router = router
+
+    def process(self, packet: Packet, now: float, router: "Router") -> str:
+        if not packet.is_udp or packet.udp.dst_port != DNS_PORT:
+            return FORWARD
+        query = packet.udp.payload
+        if not isinstance(query, DNSQuery):
+            return FORWARD
+        domain = query.qname
+        bare = domain[4:] if domain.startswith("www.") else domain
+        if domain not in self.blocklist and bare not in self.blocklist:
+            return FORWARD
+
+        network = router.network
+        assert network is not None
+        forged = DNSResponse(
+            qname=domain, qid=query.qid,
+            ips=(self.poison_strategy(domain),),
+            authority=f"injector:{self.name}",
+        )
+        reply = make_udp_packet(
+            packet.dst, packet.src, DNS_PORT, packet.udp.src_port, forged,
+        )
+        self.injection_log.append((now, domain, packet.src))
+        network.call_later(0.0002, network.inject_at, router, reply)
+        return FORWARD if self.forward_query else CONSUMED

@@ -1,0 +1,155 @@
+"""Stateful flow tracking for middleboxes.
+
+Section 4.2.1's caveat experiments show the Indian middleboxes are
+*stateful*: they start inspecting a flow only after observing a
+complete TCP 3-way handshake, keep per-flow state for 2–3 minutes of
+inactivity, and restart that timer on any fresh packet.  A crafted GET
+with no preceding handshake — or preceded only by a SYN, a SYN+ACK, or
+a handshake missing its final ACK — triggers nothing.
+
+The table keys flows by the client-side 4-tuple (the SYN sender is the
+client).  Establishment is recognised from the client-side packets
+alone (SYN, then the client's bare ACK), so a tap that happens to miss
+the server's SYN+ACK still tracks correctly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from ..netsim.packets import Packet, TCPFlags
+
+#: Paper: "2-3 minutes" of inactivity purges flow state (section 6.3).
+DEFAULT_FLOW_TIMEOUT = 150.0
+
+# Flow states.
+SYN_SEEN = "SYN_SEEN"
+SYNACK_SEEN = "SYNACK_SEEN"
+ESTABLISHED = "ESTABLISHED"
+
+FlowKey = Tuple[str, int, str, int]  # client_ip, cport, server_ip, sport
+
+
+@dataclass
+class FlowRecord:
+    """Per-flow state a middlebox maintains."""
+
+    client_ip: str
+    client_port: int
+    server_ip: str
+    server_port: int
+    state: str = SYN_SEEN
+    client_isn: int = 0
+    server_isn: Optional[int] = None
+    last_activity: float = 0.0
+    established_at: Optional[float] = None
+    censored: bool = False
+    censored_domain: Optional[str] = None
+    #: Interceptive boxes reassemble the client byte stream here.
+    buffer: bytearray = field(default_factory=bytearray)
+
+    @property
+    def key(self) -> FlowKey:
+        return (self.client_ip, self.client_port,
+                self.server_ip, self.server_port)
+
+    def is_from_client(self, packet: Packet) -> bool:
+        return (packet.src == self.client_ip
+                and packet.tcp.src_port == self.client_port)
+
+
+class FlowTable:
+    """Lazy-expiring table of tracked flows."""
+
+    def __init__(self, timeout: float = DEFAULT_FLOW_TIMEOUT,
+                 max_buffer: int = 8192) -> None:
+        self.timeout = timeout
+        self.max_buffer = max_buffer
+        self.flows: Dict[FlowKey, FlowRecord] = {}
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def observe(self, packet: Packet, now: float) -> Optional[FlowRecord]:
+        """Update state from one observed packet; return its flow.
+
+        Returns None for non-TCP packets and for packets belonging to
+        no tracked flow (e.g. a GET with no preceding handshake).
+        """
+        if not packet.is_tcp:
+            return None
+        segment = packet.tcp
+
+        record = self._lookup(packet, now)
+
+        if segment.has(TCPFlags.SYN) and not segment.has(TCPFlags.ACK):
+            # New flow attempt; (re)create state.  The SYN sender is the
+            # client by definition, and the SYN re-anchors the 4-tuple:
+            # any stale record in the opposite orientation is dropped.
+            self.flows.pop((packet.dst, segment.dst_port,
+                            packet.src, segment.src_port), None)
+            record = FlowRecord(
+                client_ip=packet.src, client_port=segment.src_port,
+                server_ip=packet.dst, server_port=segment.dst_port,
+                client_isn=segment.seq, last_activity=now,
+            )
+            self.flows[record.key] = record
+            return record
+
+        if record is None:
+            # SYN+ACK without a tracked SYN, bare data, etc: the paper's
+            # statefulness probes show these create no inspection state.
+            return None
+
+        record.last_activity = now  # fresh packets restart the timer
+
+        if segment.has(TCPFlags.SYN) and segment.has(TCPFlags.ACK):
+            if not record.is_from_client(packet) and record.state == SYN_SEEN:
+                record.state = SYNACK_SEEN
+                record.server_isn = segment.seq
+            return record
+
+        if segment.has(TCPFlags.RST):
+            self.flows.pop(record.key, None)
+            return record
+
+        if (record.state in (SYN_SEEN, SYNACK_SEEN)
+                and record.is_from_client(packet)
+                and segment.has(TCPFlags.ACK)
+                and not segment.payload
+                and not segment.has(TCPFlags.FIN)):
+            # The client's bare handshake-completing ACK.
+            record.state = ESTABLISHED
+            record.established_at = now
+        return record
+
+    def _lookup(self, packet: Packet, now: float) -> Optional[FlowRecord]:
+        segment = packet.tcp
+        forward: FlowKey = (packet.src, segment.src_port,
+                            packet.dst, segment.dst_port)
+        reverse: FlowKey = (packet.dst, segment.dst_port,
+                            packet.src, segment.src_port)
+        record = self.flows.get(forward) or self.flows.get(reverse)
+        if record is None:
+            return None
+        if now - record.last_activity > self.timeout:
+            # Idle too long: state purged (section 6.3).
+            self.flows.pop(record.key, None)
+            return None
+        return record
+
+    def established(self, packet: Packet, now: float) -> Optional[FlowRecord]:
+        """The flow for *packet* if (and only if) it is established."""
+        record = self.observe(packet, now)
+        if record is not None and record.state == ESTABLISHED:
+            return record
+        return None
+
+    def purge_expired(self, now: float) -> int:
+        """Eagerly drop idle flows; returns how many were purged."""
+        expired = [key for key, record in self.flows.items()
+                   if now - record.last_activity > self.timeout]
+        for key in expired:
+            del self.flows[key]
+        return len(expired)

@@ -1,0 +1,127 @@
+"""Censorship notification pages, per ISP.
+
+The notification-cum-disconnection packets the paper captures have
+ISP-specific fingerprints (section 6.1, heuristic 3): Airtel's page
+embeds an iframe redirecting to ``airtel.in/dot``, Jio's redirects to a
+fixed IP of its own, others carry a generic Department-of-Telecom
+notice.  Two properties are shared and matter for OONI's false
+negatives (section 6.2): the pages mimic the header *names* of ordinary
+web servers, and they carry **no <title> tag**.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..httpsim.message import HTTPResponse, make_response
+
+
+@dataclass(frozen=True)
+class NotificationProfile:
+    """How one ISP's middleboxes phrase their block page."""
+
+    isp: str
+    #: A distinctive marker appearing in every page from this ISP.
+    fingerprint: str
+    #: Page template; ``{domain}`` and ``{fingerprint}`` are filled in.
+    template: str
+
+    def page_html(self, domain: str) -> str:
+        return self.template.format(domain=domain, fingerprint=self.fingerprint)
+
+    def response(self, domain: str) -> HTTPResponse:
+        """The HTTP 200 OK notification response for *domain*.
+
+        Deliberately title-less and with standard server header names.
+        """
+        return make_response(200, self.page_html(domain).encode("latin-1"))
+
+    def response_bytes(self, domain: str) -> bytes:
+        return self.response(domain).to_bytes()
+
+
+_AIRTEL_TEMPLATE = (
+    "<html><body>"
+    '<iframe src="http://{fingerprint}/" width="100%" height="100%">'
+    "</iframe>"
+    "<p>The requested URL {domain} has been blocked as per directions of "
+    "Department of Telecommunications.</p>"
+    "</body></html>"
+)
+
+_JIO_TEMPLATE = (
+    "<html><head>"
+    '<meta http-equiv="refresh" content="0; url=http://{fingerprint}/">'
+    "</head><body>"
+    "<p>Access to {domain} is restricted per Government directive.</p>"
+    "</body></html>"
+)
+
+_GENERIC_TEMPLATE = (
+    "<html><body>"
+    "<p>{fingerprint}: The website {domain} has been blocked under "
+    "instructions of a competent Government Authority.</p>"
+    "</body></html>"
+)
+
+#: Registry of notification profiles for the censoring deployments.
+NOTIFICATION_PROFILES: Dict[str, NotificationProfile] = {
+    "airtel": NotificationProfile(
+        isp="airtel", fingerprint="www.airtel.in/dot",
+        template=_AIRTEL_TEMPLATE,
+    ),
+    "jio": NotificationProfile(
+        isp="jio", fingerprint="49.44.18.1",
+        template=_JIO_TEMPLATE,
+    ),
+    "idea": NotificationProfile(
+        isp="idea", fingerprint="DOT-COMPLIANCE-IDEA",
+        template=_GENERIC_TEMPLATE,
+    ),
+    "tata": NotificationProfile(
+        isp="tata", fingerprint="DOT-NOTICE-TATACOMM",
+        template=_GENERIC_TEMPLATE,
+    ),
+}
+
+
+def profile_for(isp: str) -> NotificationProfile:
+    """The notification profile for *isp* (a generic one if unlisted)."""
+    key = isp.lower()
+    if key in NOTIFICATION_PROFILES:
+        return NOTIFICATION_PROFILES[key]
+    return NotificationProfile(
+        isp=key, fingerprint=f"DOT-NOTICE-{key.upper()}",
+        template=_GENERIC_TEMPLATE,
+    )
+
+
+def identify_isp(body: bytes) -> Optional[str]:
+    """Attribute a block page to an ISP via its fingerprint.
+
+    This is heuristic 3 of section 6.1: anonymized middleboxes are
+    attributed by the unique characteristics of their notifications.
+    """
+    text = body.decode("latin-1", errors="replace")
+    for isp, profile in NOTIFICATION_PROFILES.items():
+        if profile.fingerprint in text:
+            return isp
+    if "DOT-NOTICE-" in text:
+        start = text.index("DOT-NOTICE-") + len("DOT-NOTICE-")
+        tail = text[start:]
+        name = "".join(ch for ch in tail.split(":")[0] if ch.isalnum())
+        return name.lower() or None
+    return None
+
+
+def looks_like_block_page(body: bytes) -> bool:
+    """True if *body* reads like a statutory censorship notification."""
+    text = body.decode("latin-1", errors="replace").lower()
+    markers = (
+        "blocked as per directions",
+        "restricted per government directive",
+        "blocked under instructions of a competent government authority",
+        "department of telecommunications",
+    )
+    return any(marker in text for marker in markers)

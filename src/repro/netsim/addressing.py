@@ -1,0 +1,190 @@
+"""IPv4 addressing utilities: parsing, prefixes, allocation and bogons.
+
+The simulator stores addresses as dotted-quad strings (they appear in
+traces and censorship notifications), with integer conversions used
+internally for prefix arithmetic.  A small :class:`PrefixAllocator` hands
+out non-overlapping prefixes when topologies are built, and
+:func:`is_bogon` implements the bogon test the paper's DNS heuristics
+rely on (section 3.2-II, heuristic 2).
+"""
+
+from __future__ import annotations
+
+import ipaddress
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence
+
+from .errors import AddressError
+
+#: Bogon prefixes: addresses that must never appear as a legitimate,
+#: globally-routable web-server address.  Taken from the standard
+#: full-bogon list referenced by the paper (ipinfo.io/bogon).
+BOGON_PREFIXES: Sequence[str] = (
+    "0.0.0.0/8",
+    "10.0.0.0/8",
+    "100.64.0.0/10",
+    "127.0.0.0/8",
+    "169.254.0.0/16",
+    "172.16.0.0/12",
+    "192.0.0.0/24",
+    "192.0.2.0/24",
+    "192.168.0.0/16",
+    "198.18.0.0/15",
+    "198.51.100.0/24",
+    "203.0.113.0/24",
+    "224.0.0.0/4",
+    "240.0.0.0/4",
+)
+
+_BOGON_NETWORKS = tuple(ipaddress.ip_network(p) for p in BOGON_PREFIXES)
+
+
+def ip_to_int(ip: str) -> int:
+    """Convert a dotted-quad IPv4 string to its 32-bit integer value."""
+    try:
+        return int(ipaddress.IPv4Address(ip))
+    except (ipaddress.AddressValueError, ValueError) as exc:
+        raise AddressError(f"invalid IPv4 address: {ip!r}") from exc
+
+
+def int_to_ip(value: int) -> str:
+    """Convert a 32-bit integer to a dotted-quad IPv4 string."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise AddressError(f"integer out of IPv4 range: {value!r}")
+    return str(ipaddress.IPv4Address(value))
+
+
+def is_valid_ip(ip: str) -> bool:
+    """Return True if *ip* parses as an IPv4 address."""
+    try:
+        ipaddress.IPv4Address(ip)
+    except (ipaddress.AddressValueError, ValueError):
+        return False
+    return True
+
+
+def is_bogon(ip: str) -> bool:
+    """Return True if *ip* falls inside any bogon prefix.
+
+    The paper's DNS-filtering heuristic marks a resolution as censored
+    when the returned address is a bogon (section 3.2-II).
+    """
+    addr = ipaddress.IPv4Address(ip_to_int(ip))
+    return any(addr in net for net in _BOGON_NETWORKS)
+
+
+@dataclass(frozen=True)
+class Prefix:
+    """An IPv4 CIDR prefix, e.g. ``Prefix.parse("182.64.0.0/16")``."""
+
+    network: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.length <= 32:
+            raise AddressError(f"invalid prefix length: {self.length}")
+        mask = self.mask
+        if self.network & ~mask & 0xFFFFFFFF:
+            raise AddressError(
+                f"host bits set in prefix {int_to_ip(self.network)}/{self.length}"
+            )
+
+    @classmethod
+    def parse(cls, text: str) -> "Prefix":
+        """Parse ``"a.b.c.d/len"`` into a :class:`Prefix`."""
+        try:
+            net_part, _, len_part = text.partition("/")
+            length = int(len_part)
+        except ValueError as exc:
+            raise AddressError(f"invalid prefix: {text!r}") from exc
+        return cls(network=ip_to_int(net_part), length=length)
+
+    @property
+    def mask(self) -> int:
+        """The network mask as a 32-bit integer."""
+        if self.length == 0:
+            return 0
+        return (0xFFFFFFFF << (32 - self.length)) & 0xFFFFFFFF
+
+    @property
+    def size(self) -> int:
+        """Number of addresses covered by the prefix."""
+        return 1 << (32 - self.length)
+
+    def contains(self, ip: str) -> bool:
+        """Return True if *ip* lies inside this prefix."""
+        return (ip_to_int(ip) & self.mask) == self.network
+
+    def address(self, offset: int) -> str:
+        """Return the address at *offset* within the prefix."""
+        if not 0 <= offset < self.size:
+            raise AddressError(
+                f"offset {offset} out of range for /{self.length} prefix"
+            )
+        return int_to_ip(self.network + offset)
+
+    def hosts(self) -> Iterator[str]:
+        """Iterate every address in the prefix (including .0 and broadcast).
+
+        The simulator does not reserve network/broadcast addresses; the
+        paper's resolver scan sweeps "the entire IPv4 address space of the
+        said ISP" and so do we.
+        """
+        for offset in range(self.size):
+            yield int_to_ip(self.network + offset)
+
+    def subnets(self, new_length: int) -> List["Prefix"]:
+        """Split the prefix into sub-prefixes of *new_length*."""
+        if new_length < self.length or new_length > 32:
+            raise AddressError(
+                f"cannot split /{self.length} into /{new_length}"
+            )
+        step = 1 << (32 - new_length)
+        return [
+            Prefix(self.network + i * step, new_length)
+            for i in range(1 << (new_length - self.length))
+        ]
+
+    def __str__(self) -> str:
+        return f"{int_to_ip(self.network)}/{self.length}"
+
+
+def ip_in_prefixes(ip: str, prefixes: Sequence[Prefix]) -> bool:
+    """Return True if *ip* lies inside any prefix in *prefixes*."""
+    return any(p.contains(ip) for p in prefixes)
+
+
+@dataclass
+class PrefixAllocator:
+    """Hands out non-overlapping prefixes from a parent pool.
+
+    Topology builders use one allocator per world so ISP prefixes,
+    content-hosting prefixes and backbone link addresses never collide.
+    """
+
+    pool: Prefix
+    _cursor: int = field(default=0, init=False)
+
+    @classmethod
+    def from_text(cls, text: str) -> "PrefixAllocator":
+        return cls(pool=Prefix.parse(text))
+
+    def allocate(self, length: int) -> Prefix:
+        """Allocate the next free prefix of the given *length*."""
+        if length < self.pool.length:
+            raise AddressError(
+                f"cannot allocate /{length} from /{self.pool.length} pool"
+            )
+        step = 1 << (32 - length)
+        # Align the cursor to the requested prefix size.
+        aligned = (self._cursor + step - 1) & ~(step - 1)
+        if aligned + step > self.pool.size:
+            raise AddressError(
+                f"prefix pool {self.pool} exhausted allocating /{length}"
+            )
+        self._cursor = aligned + step
+        return Prefix(self.pool.network + aligned, length)
+
+    def allocate_address(self) -> str:
+        """Allocate a single address (a /32) and return it as a string."""
+        return int_to_ip(self.allocate(32).network)

@@ -1,0 +1,113 @@
+"""pcap-style packet capture.
+
+Hosts (and optionally routers) record every packet they send and
+receive.  The measurement code inspects captures exactly the way the
+paper inspects pcap traces: looking for injected FINs, forged RSTs,
+fixed IP-ID values and sequence-number mismatches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from .packets import Packet, TCPFlags
+
+
+@dataclass(frozen=True)
+class CaptureEntry:
+    """One captured packet: when, where, which direction."""
+
+    time: float
+    node: str
+    direction: str  # "rx" or "tx"
+    packet: Packet
+
+    def describe(self) -> str:
+        arrow = "<-" if self.direction == "rx" else "->"
+        return f"[{self.time:9.4f}] {self.node} {arrow} {self.packet.describe()}"
+
+
+@dataclass
+class Capture:
+    """An append-only list of :class:`CaptureEntry` with filter helpers."""
+
+    entries: List[CaptureEntry] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, time: float, node: str, direction: str, packet: Packet) -> None:
+        """Append an entry (packets are cloned so later mutation is safe)."""
+        if self.enabled:
+            self.entries.append(
+                CaptureEntry(time=time, node=node, direction=direction,
+                             packet=packet.clone())
+            )
+
+    def clear(self) -> None:
+        self.entries.clear()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self) -> Iterator[CaptureEntry]:
+        return iter(self.entries)
+
+    def filter(
+        self,
+        predicate: Optional[Callable[[CaptureEntry], bool]] = None,
+        *,
+        direction: Optional[str] = None,
+        src: Optional[str] = None,
+        dst: Optional[str] = None,
+        tcp_only: bool = False,
+        with_flag: Optional[TCPFlags] = None,
+        since: float = float("-inf"),
+    ) -> List[CaptureEntry]:
+        """Return entries matching all the given criteria."""
+        result = []
+        for entry in self.entries:
+            if entry.time < since:
+                continue
+            if direction is not None and entry.direction != direction:
+                continue
+            packet = entry.packet
+            if src is not None and packet.src != src:
+                continue
+            if dst is not None and packet.dst != dst:
+                continue
+            if tcp_only and not packet.is_tcp:
+                continue
+            if with_flag is not None:
+                if not packet.is_tcp or not packet.tcp.has(with_flag):
+                    continue
+            if predicate is not None and not predicate(entry):
+                continue
+            result.append(entry)
+        return result
+
+    def tcp_payload_stream(self, src: str, dst: str) -> bytes:
+        """Reassemble captured TCP payload bytes flowing src -> dst.
+
+        A crude in-order reassembly (duplicate sequence numbers are
+        dropped) — sufficient for inspecting what a remote controlled
+        server actually received (section 4.2.1 experiments).
+        """
+        seen_seqs = set()
+        chunks = []
+        for entry in self.entries:
+            packet = entry.packet
+            if not packet.is_tcp or packet.src != src or packet.dst != dst:
+                continue
+            segment = packet.tcp
+            if not segment.payload:
+                continue
+            if segment.seq in seen_seqs:
+                continue
+            seen_seqs.add(segment.seq)
+            chunks.append((segment.seq, segment.payload))
+        chunks.sort(key=lambda item: item[0])
+        return b"".join(payload for _, payload in chunks)
+
+    def describe(self) -> str:
+        """Multi-line rendering of the whole capture."""
+        return "\n".join(entry.describe() for entry in self.entries)

@@ -1,0 +1,361 @@
+"""The discrete-event network engine.
+
+:class:`Network` owns the topology graph, the virtual clock, the event
+queue and the forwarding logic.  Forwarding implements:
+
+* per-hop TTL decrement with ICMP Time-Exceeded generation (suppressed
+  on *anonymized* routers, which therefore traceroute as ``*``);
+* hash-based ECMP: where several equal-cost next hops exist the choice
+  is a deterministic hash of the destination address, so different
+  destinations take different paths through an ISP — the property the
+  paper's coverage experiments rely on (section 4.2.2);
+* middlebox hooks: wiretaps receive a copy of every transiting packet
+  *before* TTL processing, inline middleboxes are consulted *after* the
+  TTL decrement but *before* the expiry check, so a censored request
+  whose TTL dies at (or beyond) the middlebox hop still elicits a
+  censorship notification instead of an ICMP error — exactly the
+  behaviour reported in section 4.2.1.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import zlib
+from typing import Callable, Dict, List, Optional, Tuple
+
+import networkx as nx
+
+from .devices import Host, Node, Router
+from .errors import RoutingError, SimulationError, UnknownNodeError
+from .packets import Packet, make_time_exceeded
+
+#: Default one-way link delay in (virtual) seconds.
+DEFAULT_LINK_DELAY = 0.005
+
+#: Inline middlebox verdicts.
+FORWARD = "forward"
+DROP = "drop"
+CONSUMED = "consumed"
+
+
+def _ecmp_hash(src_ip: Optional[str], dst_ip: str, node_name: str) -> int:
+    """Deterministic, unsalted hash used for ECMP next-hop selection.
+
+    The hash key is the *unordered* address pair, so both directions of
+    a flow hash identically and take mirrored paths — without this,
+    middleboxes would see only one side of the handshakes they must
+    observe to build flow state.  When no source is known (bare path
+    queries) the destination alone is used.
+    """
+    if src_ip is None:
+        key = f"{dst_ip}|{node_name}"
+    else:
+        lo, hi = sorted((src_ip, dst_ip))
+        key = f"{lo}|{hi}|{node_name}"
+    return zlib.crc32(key.encode("ascii"))
+
+
+class Network:
+    """The simulated internetwork: topology, clock, events, forwarding."""
+
+    def __init__(self) -> None:
+        self.graph = nx.Graph()
+        self.nodes: Dict[str, Node] = {}
+        self.ip_owner: Dict[str, Node] = {}
+        self.now: float = 0.0
+        self.drops: List[Tuple[float, str, Packet]] = []
+        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        self._seq = itertools.count()
+        self._dist_cache: Dict[str, Dict[str, float]] = {}
+        self._events_processed = 0
+
+    # ------------------------------------------------------------------
+    # Topology construction
+    # ------------------------------------------------------------------
+
+    def add_node(self, node: Node) -> Node:
+        """Attach a host or router to the network."""
+        if node.name in self.nodes:
+            raise SimulationError(f"duplicate node name: {node.name}")
+        self.nodes[node.name] = node
+        node.network = self
+        self.graph.add_node(node.name)
+        for ip in node.ips:
+            self.register_ip(ip, node)
+        self._dist_cache.clear()
+        return node
+
+    def add_host(self, name: str, ip: str, asn: int = 0) -> Host:
+        """Create, address and attach a host in one call."""
+        host = Host(name, asn)
+        self.add_node(host)
+        host.add_ip(ip)
+        return host
+
+    def add_router(self, name: str, ip: str, asn: int = 0,
+                   *, anonymized: bool = False) -> Router:
+        """Create, address and attach a router in one call."""
+        router = Router(name, asn, anonymized=anonymized)
+        self.add_node(router)
+        router.add_ip(ip)
+        return router
+
+    def register_ip(self, ip: str, node: Node) -> None:
+        """Record that *node* owns interface address *ip*."""
+        existing = self.ip_owner.get(ip)
+        if existing is not None and existing is not node:
+            raise SimulationError(
+                f"IP {ip} already owned by {existing.name}, "
+                f"cannot assign to {node.name}"
+            )
+        self.ip_owner[ip] = node
+
+    def link(self, a: str, b: str, delay: float = DEFAULT_LINK_DELAY) -> None:
+        """Connect two nodes with a bidirectional link of given delay."""
+        for name in (a, b):
+            if name not in self.nodes:
+                raise UnknownNodeError(f"unknown node: {name}")
+        self.graph.add_edge(a, b, delay=delay)
+        self._dist_cache.clear()
+
+    def node(self, name: str) -> Node:
+        try:
+            return self.nodes[name]
+        except KeyError:
+            raise UnknownNodeError(f"unknown node: {name}") from None
+
+    def owner_of(self, ip: str) -> Optional[Node]:
+        """Return the node owning interface address *ip*, if any."""
+        return self.ip_owner.get(ip)
+
+    # ------------------------------------------------------------------
+    # Event queue
+    # ------------------------------------------------------------------
+
+    def call_later(self, delay: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` at ``now + delay``."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay}")
+        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn, args))
+
+    def call_at(self, when: float, fn: Callable, *args) -> None:
+        """Schedule ``fn(*args)`` at absolute virtual time *when*."""
+        if when < self.now:
+            raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
+        heapq.heappush(self._queue, (when, next(self._seq), fn, args))
+
+    def run(self, until: Optional[float] = None, max_events: int = 20_000_000) -> int:
+        """Process events until the queue drains or *until* is reached.
+
+        Returns the number of events processed by this call.
+        """
+        processed = 0
+        while self._queue:
+            when = self._queue[0][0]
+            if until is not None and when > until:
+                break
+            when, _, fn, args = heapq.heappop(self._queue)
+            self.now = max(self.now, when)
+            fn(*args)
+            processed += 1
+            self._events_processed += 1
+            if processed > max_events:
+                raise SimulationError(
+                    f"event budget exceeded ({max_events}); likely a packet loop"
+                )
+        if until is not None and self.now < until:
+            self.now = until
+        return processed
+
+    def run_until_idle(self, max_events: int = 20_000_000) -> int:
+        """Run until no events remain."""
+        return self.run(until=None, max_events=max_events)
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._queue)
+
+    # ------------------------------------------------------------------
+    # Routing (hash-based ECMP over shortest paths)
+    # ------------------------------------------------------------------
+
+    def _distances_to(self, dst_name: str) -> Dict[str, float]:
+        """Distance from every node to *dst_name* (cached per target)."""
+        cached = self._dist_cache.get(dst_name)
+        if cached is None:
+            cached = nx.single_source_dijkstra_path_length(
+                self.graph, dst_name, weight="delay"
+            )
+            self._dist_cache[dst_name] = cached
+        return cached
+
+    def next_hop(self, from_node: Node, dst_ip: str,
+                 src_ip: Optional[str] = None) -> Optional[Node]:
+        """ECMP next hop from *from_node* toward *dst_ip*, or None."""
+        owner = self.ip_owner.get(dst_ip)
+        if owner is None or owner is from_node:
+            return None
+        dist = self._distances_to(owner.name)
+        here = dist.get(from_node.name)
+        if here is None:
+            return None
+        best_cost = None
+        candidates: List[str] = []
+        for neighbor in self.graph.neighbors(from_node.name):
+            neighbor_dist = dist.get(neighbor)
+            if neighbor_dist is None:
+                continue
+            cost = self.graph.edges[from_node.name, neighbor]["delay"] + neighbor_dist
+            if best_cost is None or cost < best_cost - 1e-12:
+                best_cost = cost
+                candidates = [neighbor]
+            elif abs(cost - best_cost) <= 1e-12:
+                candidates.append(neighbor)
+        if not candidates:
+            return None
+        candidates.sort()
+        choice = _ecmp_hash(src_ip, dst_ip, from_node.name) % len(candidates)
+        return self.nodes[candidates[choice]]
+
+    def path_to(self, from_node: Node, dst_ip: str, max_hops: int = 64,
+                src_ip: Optional[str] = None) -> List[Node]:
+        """The full ECMP path a packet for *dst_ip* takes from *from_node*.
+
+        ``src_ip`` defaults to the node's own primary address so planned
+        paths match the paths that node's packets actually take.  Used
+        by the express probing layer; equivalence with packet-by-packet
+        forwarding is covered by property tests.
+        """
+        if src_ip is None and from_node.ips:
+            src_ip = from_node.ip
+        owner = self.ip_owner.get(dst_ip)
+        if owner is None:
+            raise RoutingError(f"no node owns {dst_ip}")
+        path = [from_node]
+        current = from_node
+        for _ in range(max_hops):
+            if current is owner:
+                return path
+            nxt = self.next_hop(current, dst_ip, src_ip)
+            if nxt is None:
+                raise RoutingError(
+                    f"no route from {from_node.name} to {dst_ip} "
+                    f"(stuck at {current.name})"
+                )
+            path.append(nxt)
+            current = nxt
+        raise RoutingError(f"path to {dst_ip} exceeds {max_hops} hops")
+
+    def hop_count(self, from_node: Node, dst_ip: str) -> int:
+        """Number of forwarding hops from *from_node* to *dst_ip*."""
+        return len(self.path_to(from_node, dst_ip)) - 1
+
+    # ------------------------------------------------------------------
+    # Forwarding
+    # ------------------------------------------------------------------
+
+    def transmit(self, from_node: Node, packet: Packet) -> None:
+        """Emit *packet* from *from_node* toward its destination."""
+        owner = self.ip_owner.get(packet.dst)
+        if owner is None:
+            self.drops.append((self.now, "no-route", packet))
+            return
+        if owner is from_node:
+            # Loopback delivery.
+            self.call_later(0.0, self._deliver_local, owner, packet)
+            return
+        nxt = self.next_hop(from_node, packet.dst, packet.src)
+        if nxt is None:
+            self.drops.append((self.now, "no-route", packet))
+            return
+        delay = self.graph.edges[from_node.name, nxt.name]["delay"]
+        self.call_later(delay, self._arrive, nxt, packet)
+
+    def _deliver_local(self, node: Node, packet: Packet) -> None:
+        if isinstance(node, Host):
+            node.deliver(packet, self.now)
+
+    def _arrive(self, node: Node, packet: Packet) -> None:
+        """A packet arrives at *node*: terminate, or route onward."""
+        if isinstance(node, Host):
+            if node.owns_ip(packet.dst):
+                node.deliver(packet, self.now)
+            else:
+                # Hosts do not forward.
+                self.drops.append((self.now, "host-not-dst", packet))
+            return
+        assert isinstance(node, Router)
+        self._route_through(node, packet)
+
+    def _route_through(self, router: Router, packet: Packet) -> None:
+        # Wiretaps copy traffic before any TTL processing: a probe whose
+        # TTL dies at this hop is still observed (and can still trigger
+        # censorship), matching the Iterative Network Tracer findings.
+        for tap in router.taps:
+            tap.on_copy(packet.clone(), self.now, router)
+
+        packet.ttl -= 1
+
+        # Inline middleboxes inspect after the decrement but before the
+        # expiry check: a censored request never produces ICMP errors
+        # from hops at or beyond the middlebox.
+        inline = router.inline_middlebox
+        if inline is not None:
+            verdict = inline.process(packet, self.now, router)
+            if verdict == DROP:
+                self.drops.append((self.now, f"inline-drop:{router.name}", packet))
+                return
+            if verdict == CONSUMED:
+                return
+            if verdict != FORWARD:
+                raise SimulationError(
+                    f"middlebox on {router.name} returned bad verdict {verdict!r}"
+                )
+
+        if packet.ttl <= 0:
+            if not router.anonymized:
+                reply = make_time_exceeded(router.ip, packet)
+                self.transmit(router, reply)
+            else:
+                self.drops.append((self.now, f"ttl-anon:{router.name}", packet))
+            return
+
+        if router.owns_ip(packet.dst):
+            # Routers terminate nothing in this model.
+            self.drops.append((self.now, "router-is-dst", packet))
+            return
+
+        nxt = self.next_hop(router, packet.dst, packet.src)
+        if nxt is None:
+            self.drops.append((self.now, f"no-route:{router.name}", packet))
+            return
+        delay = self.graph.edges[router.name, nxt.name]["delay"]
+        self.call_later(delay, self._arrive, nxt, packet)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+
+    def inject_at(self, router: Router, packet: Packet) -> None:
+        """Inject a (usually forged) packet into the network at *router*.
+
+        Wiretap middleboxes use this to race their crafted responses
+        against the genuine server reply.
+        """
+        self.transmit(router, packet)
+
+    def middleboxes_on_path(self, from_node: Node, dst_ip: str,
+                            src_ip: Optional[str] = None) -> List[tuple]:
+        """All middleboxes a packet to *dst_ip* would traverse.
+
+        Returns ``(hop_index, router, middlebox)`` tuples, hop_index
+        counting the first router as 1.  Express probing uses this.
+        """
+        found = []
+        path = self.path_to(from_node, dst_ip, src_ip=src_ip)
+        for index, node in enumerate(path[1:-1], start=1):
+            if isinstance(node, Router):
+                for box in node.middleboxes:
+                    found.append((index, node, box))
+        return found

@@ -1,0 +1,43 @@
+"""Exception hierarchy for the network simulator.
+
+Every error raised by :mod:`repro.netsim` derives from :class:`NetSimError`
+so callers can catch simulator failures without masking programming errors.
+"""
+
+from __future__ import annotations
+
+
+class NetSimError(Exception):
+    """Base class for all network-simulator errors."""
+
+
+class AddressError(NetSimError):
+    """An IPv4 address or prefix was malformed or out of range."""
+
+
+class UnknownNodeError(NetSimError):
+    """A node name or IP address does not exist in the topology."""
+
+
+class LinkError(NetSimError):
+    """A link was requested between nodes that are not connected."""
+
+
+class RoutingError(NetSimError):
+    """No route exists between two nodes."""
+
+
+class PortInUseError(NetSimError):
+    """A host tried to bind a TCP/UDP port that is already bound."""
+
+
+class ConnectionError_(NetSimError):
+    """A TCP operation was attempted on a connection in the wrong state.
+
+    Named with a trailing underscore to avoid shadowing the built-in
+    :class:`ConnectionError`.
+    """
+
+
+class SimulationError(NetSimError):
+    """The discrete-event engine reached an inconsistent state."""

@@ -1,0 +1,59 @@
+"""repro.websites — the synthetic PBW corpus and hosting substrate.
+
+Generates the 1,200-site potentially-blocked-websites list (7 paper
+categories, realistic hosting confounders), a synthetic Alexa top-1000,
+per-ISP blocklists matching the paper's sizes, and the deployment code
+that wires all of it into the simulated Internet.
+"""
+
+from .alexa import AlexaSite, build_alexa_destinations, DEFAULT_ALEXA_SIZE
+from .blocklists import (
+    BlocklistPlan,
+    CATEGORY_SENSITIVITY,
+    DNS_BLOCKLIST_SIZES,
+    HTTP_BLOCKLIST_SIZES,
+    build_blocklists,
+    overlap_fraction,
+)
+from .categories import CATEGORIES, category_names
+from .content import (
+    PARKING_PROVIDERS,
+    dynamic_chunk,
+    page_response,
+    parked_response,
+    static_body,
+)
+from .corpus import (
+    Corpus,
+    DEFAULT_CORPUS_SEED,
+    DEFAULT_CORPUS_SIZE,
+    Website,
+    build_corpus,
+)
+from .hosting import HostingDeployment, deploy_corpus
+
+__all__ = [
+    "AlexaSite",
+    "BlocklistPlan",
+    "CATEGORIES",
+    "CATEGORY_SENSITIVITY",
+    "Corpus",
+    "DEFAULT_ALEXA_SIZE",
+    "DEFAULT_CORPUS_SEED",
+    "DEFAULT_CORPUS_SIZE",
+    "DNS_BLOCKLIST_SIZES",
+    "HTTP_BLOCKLIST_SIZES",
+    "HostingDeployment",
+    "PARKING_PROVIDERS",
+    "Website",
+    "build_alexa_destinations",
+    "build_blocklists",
+    "build_corpus",
+    "category_names",
+    "deploy_corpus",
+    "dynamic_chunk",
+    "overlap_fraction",
+    "page_response",
+    "parked_response",
+    "static_body",
+]

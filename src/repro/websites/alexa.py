@@ -1,0 +1,100 @@
+"""A synthetic Alexa-style top-1000 destination list.
+
+Section 4.2.2's single-vantage-point coverage experiment establishes
+TCP connections to the Alexa top 1000 and sends censored Host values
+down each — the destinations matter only as *path selectors* through
+the ISP, so they are synthesised as popular-sounding domains hosted on
+a handful of farm hosts with one address per site (each address pulls
+a different ECMP path).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..dnssim.zones import GlobalDNS
+from ..httpsim.message import make_response
+from ..httpsim.server import OriginServer
+from ..netsim.addressing import PrefixAllocator
+from ..netsim.engine import Network
+
+DEFAULT_ALEXA_SIZE = 1000
+ALEXA_FARM_COUNT = 5
+ALEXA_ASN_BASE = 70000
+
+_STEMS = (
+    "search", "video", "mail", "shop", "news", "wiki", "maps", "play",
+    "cloud", "photo", "bank", "travel", "game", "learn", "code", "food",
+    "sport", "auto", "health", "home",
+)
+_SUFFIXES = ("hub", "zone", "now", "plus", "base", "spot", "line", "go",
+             "box", "lab")
+_TLDS = (".com", ".org", ".net", ".co", ".io")
+
+
+@dataclass(frozen=True)
+class AlexaSite:
+    rank: int
+    domain: str
+    ip: str
+
+
+def build_alexa_destinations(
+    network: Network,
+    global_dns: GlobalDNS,
+    attach_router: str,
+    allocator: PrefixAllocator,
+    *,
+    size: int = DEFAULT_ALEXA_SIZE,
+    seed: int = 1808,
+    link_delay: float = 0.004,
+) -> List[AlexaSite]:
+    """Create and deploy the popular-destination set; returns it."""
+    rng = random.Random(seed ^ 0xA1E0)
+    farms = []
+    servers: Dict[str, OriginServer] = {}
+    for index in range(ALEXA_FARM_COUNT):
+        ip = allocator.allocate_address()
+        host = network.add_host(f"alexa{index}", ip,
+                                asn=ALEXA_ASN_BASE + index)
+        network.link(host.name, attach_router, delay=link_delay)
+        server = OriginServer(name=host.name)
+        server.install(host)
+        farms.append(host)
+        servers[host.name] = server
+
+    taken = set()
+    sites: List[AlexaSite] = []
+    for rank in range(1, size + 1):
+        domain = _make_domain(rng, taken)
+        farm = farms[rank % ALEXA_FARM_COUNT]
+        ip = allocator.allocate_address()
+        farm.add_ip(ip)
+        body = (f"<html><head><title>{domain.split('.')[0].capitalize()} "
+                f"Official</title></head>"
+                f"<body>popular destination rank {rank}</body></html>")
+        servers[farm.name].add_domain(
+            domain,
+            lambda req, client_ip, body=body: make_response(
+                200, body.encode("latin-1")),
+        )
+        global_dns.add_simple(domain, [ip])
+        sites.append(AlexaSite(rank=rank, domain=domain, ip=ip))
+    return sites
+
+
+def _make_domain(rng: random.Random, taken: set) -> str:
+    for _ in range(1000):
+        stem = rng.choice(_STEMS)
+        suffix = rng.choice(_SUFFIXES)
+        if rng.random() < 0.4:
+            name = f"{stem}{suffix}{rng.randrange(2, 99)}"
+        else:
+            name = f"{stem}{suffix}"
+        domain = name + rng.choice(_TLDS)
+        if domain not in taken:
+            taken.add(domain)
+            return domain
+    raise RuntimeError("alexa namespace exhausted")

@@ -1,0 +1,115 @@
+"""Per-ISP blocklists over the PBW corpus.
+
+Table 2 reports how many of the 1,200 PBWs each HTTP-censoring ISP
+blocks (Airtel 234, Idea 338, Vodafone 483, Jio 200); MTNL and BSNL
+block via DNS instead.  The paper also shows blocklists overlap but are
+far from identical across ISPs ("incoherent censorship policies"), and
+that stale entries persist: dead sites remain blocked (section 6.3).
+
+Lists are sampled by scoring each site with a category-driven base
+sensitivity plus per-ISP jitter, then taking the ISP's top-k — porn and
+escort content is blocked almost everywhere, politics and tools only by
+some, giving the natural partial overlap.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet
+
+from .corpus import Corpus
+
+#: Target blocklist sizes from Table 2 (HTTP) plus TATA (the Table 3
+#: transit censor) and the DNS-censoring ISPs of Figure 2.
+HTTP_BLOCKLIST_SIZES: Dict[str, int] = {
+    "airtel": 234,
+    "idea": 338,
+    "vodafone": 483,
+    "jio": 200,
+    "tata": 160,
+}
+
+DNS_BLOCKLIST_SIZES: Dict[str, int] = {
+    "mtnl": 450,
+    "bsnl": 280,
+}
+
+#: How objectionable each category is to the average Indian censor.
+CATEGORY_SENSITIVITY: Dict[str, float] = {
+    "porn": 0.90,
+    "escort": 0.80,
+    "torrent": 0.62,
+    "tools": 0.50,
+    "politics": 0.42,
+    "music": 0.30,
+    "social": 0.25,
+}
+
+#: Per-ISP jitter: how idiosyncratic this ISP's ordering is.
+ISP_JITTER: Dict[str, float] = {
+    "airtel": 0.25,
+    "idea": 0.25,
+    "vodafone": 0.35,
+    "jio": 0.30,
+    "tata": 0.30,
+    "mtnl": 0.30,
+    "bsnl": 0.35,
+}
+
+
+@dataclass
+class BlocklistPlan:
+    """The blocklists every censoring deployment works from."""
+
+    http: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+    dns: Dict[str, FrozenSet[str]] = field(default_factory=dict)
+
+    def all_blocked_domains(self) -> FrozenSet[str]:
+        merged: set = set()
+        for blocked in list(self.http.values()) + list(self.dns.values()):
+            merged |= blocked
+        return frozenset(merged)
+
+    def union_http(self) -> FrozenSet[str]:
+        merged: set = set()
+        for blocked in self.http.values():
+            merged |= blocked
+        return frozenset(merged)
+
+
+def _isp_blocklist(corpus: Corpus, isp: str, size: int,
+                   seed: int) -> FrozenSet[str]:
+    rng = random.Random(f"blocklist|{seed}|{isp}")
+    jitter = ISP_JITTER.get(isp, 0.3)
+    scored = []
+    for site in corpus:
+        base = CATEGORY_SENSITIVITY[site.category]
+        score = base + rng.uniform(-jitter, jitter)
+        scored.append((score, site.domain))
+    scored.sort(reverse=True)
+    return frozenset(domain for _, domain in scored[:size])
+
+
+def build_blocklists(corpus: Corpus, seed: int = 1808,
+                     scale: float = 1.0) -> BlocklistPlan:
+    """Construct the per-ISP HTTP and DNS blocklists.
+
+    ``scale`` shrinks list sizes proportionally for reduced-size worlds
+    (tests); the full-size world uses scale 1.0.
+    """
+    plan = BlocklistPlan()
+    for isp, size in HTTP_BLOCKLIST_SIZES.items():
+        scaled = max(2, round(size * scale))
+        plan.http[isp] = _isp_blocklist(corpus, isp, scaled, seed)
+    for isp, size in DNS_BLOCKLIST_SIZES.items():
+        scaled = max(2, round(size * scale))
+        plan.dns[isp] = _isp_blocklist(corpus, isp, scaled, seed)
+    return plan
+
+
+def overlap_fraction(a: FrozenSet[str], b: FrozenSet[str]) -> float:
+    """Jaccard overlap between two blocklists."""
+    if not a and not b:
+        return 1.0
+    return len(a & b) / len(a | b)

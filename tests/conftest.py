@@ -1,0 +1,25 @@
+"""Shared fixtures: session-scoped simulated worlds.
+
+Building a world is cheap (~0.3 s) and fetching through it mutates no
+structural state, so one small world serves most tests.  Tests that
+need pristine captures or timers isolate themselves by using fresh
+connections (every fetch already does) or by clearing captures.
+"""
+
+import pytest
+
+from repro.isps import build_world
+
+SMALL_SCALE = 0.15
+SMALL_SEED = 1808
+
+
+@pytest.fixture(scope="session")
+def small_world():
+    return build_world(seed=SMALL_SEED, scale=SMALL_SCALE)
+
+
+@pytest.fixture(scope="session")
+def full_world():
+    """Full-size world for tests needing realistic coverage statistics."""
+    return build_world(seed=SMALL_SEED, scale=1.0)

@@ -1,0 +1,162 @@
+"""DNS resolution: honest, poisoned, regional and TTL-limited."""
+
+import pytest
+
+from repro.dnssim import (
+    GlobalDNS,
+    ResolverConfig,
+    ResolverService,
+    bogon_poison,
+    dns_lookup,
+    mixed_poison,
+    static_ip_poison,
+)
+from repro.netsim import Network, is_bogon
+
+
+@pytest.fixture
+def dns_world():
+    net = Network()
+    client = net.add_host("client", "10.0.0.1")
+    resolver_host = net.add_host("resolver", "10.5.0.53")
+    net.add_router("r1", "10.1.0.1")
+    net.add_router("r2", "10.1.0.2")
+    net.link("client", "r1")
+    net.link("r1", "r2")
+    net.link("r2", "resolver")
+
+    global_dns = GlobalDNS()
+    global_dns.add_simple("good.example", ["93.184.216.34"])
+    global_dns.add_regional(
+        "cdn.example",
+        {"in": ["151.101.1.1"], "us": ["151.101.2.2"]},
+    )
+    return net, client, resolver_host, global_dns
+
+
+def install_resolver(host, global_dns, **config_kwargs):
+    service = ResolverService(global_dns, ResolverConfig(**config_kwargs))
+    service.install(host)
+    return service
+
+
+class TestHonestResolver:
+    def test_resolves_known_domain(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(resolver_host, global_dns)
+        result = dns_lookup(net, client, resolver_host.ip, "good.example")
+        assert result.ok
+        assert result.ips == ["93.184.216.34"]
+
+    def test_nxdomain_for_unknown(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(resolver_host, global_dns)
+        result = dns_lookup(net, client, resolver_host.ip, "nope.invalid")
+        assert result.responded
+        assert result.rcode == "NXDOMAIN"
+        assert not result.ok
+
+    def test_regional_resolution_differs(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(resolver_host, global_dns, region="in")
+        result = dns_lookup(net, client, resolver_host.ip, "cdn.example")
+        assert result.ips == ["151.101.1.1"]
+
+    def test_www_alias(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(resolver_host, global_dns)
+        result = dns_lookup(net, client, resolver_host.ip, "www.good.example")
+        assert result.ok
+
+    def test_timeout_when_no_resolver(self, dns_world):
+        net, client, _, _ = dns_world
+        result = dns_lookup(net, client, "10.5.0.99", "good.example",
+                            timeout=1.0)
+        assert not result.responded
+
+
+class TestPoisonedResolver:
+    def test_blocked_domain_gets_static_ip(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        global_dns.add_simple("blocked.example", ["203.0.114.7"])
+        install_resolver(
+            resolver_host, global_dns,
+            blocklist=frozenset({"blocked.example"}),
+            poison_strategy=static_ip_poison("10.5.0.100"),
+        )
+        result = dns_lookup(net, client, resolver_host.ip, "blocked.example")
+        assert result.ips == ["10.5.0.100"]
+
+    def test_unblocked_domain_still_honest(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(
+            resolver_host, global_dns,
+            blocklist=frozenset({"blocked.example"}),
+            poison_strategy=static_ip_poison("10.5.0.100"),
+        )
+        result = dns_lookup(net, client, resolver_host.ip, "good.example")
+        assert result.ips == ["93.184.216.34"]
+
+    def test_bogon_poisoning(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(
+            resolver_host, global_dns,
+            blocklist=frozenset({"blocked.example"}),
+            poison_strategy=bogon_poison(),
+        )
+        result = dns_lookup(net, client, resolver_host.ip, "blocked.example")
+        assert len(result.ips) == 1
+        assert is_bogon(result.ips[0])
+
+    def test_www_alias_also_poisoned(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(
+            resolver_host, global_dns,
+            blocklist=frozenset({"blocked.example"}),
+            poison_strategy=static_ip_poison("10.5.0.100"),
+        )
+        result = dns_lookup(net, client, resolver_host.ip,
+                            "www.blocked.example")
+        assert result.ips == ["10.5.0.100"]
+
+    def test_mixed_poison_is_deterministic(self):
+        strategy = mixed_poison("10.5.0.100", "127.0.0.2")
+        first = [strategy(f"site{i}.example") for i in range(50)]
+        second = [strategy(f"site{i}.example") for i in range(50)]
+        assert first == second
+        assert "127.0.0.2" in first
+        assert "10.5.0.100" in first
+
+
+class TestTTLLimitedQueries:
+    def test_response_only_from_last_hop(self, dns_world):
+        """Poisoned *resolvers* answer only when the query reaches them:
+        the signature distinguishing poisoning from injection."""
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(
+            resolver_host, global_dns,
+            blocklist=frozenset({"blocked.example"}),
+            poison_strategy=static_ip_poison("10.5.0.100"),
+        )
+        # Path: client -> r1 -> r2 -> resolver = 3 forwarding hops.
+        for ttl in (1, 2):
+            result = dns_lookup(net, client, resolver_host.ip,
+                                "blocked.example", ttl=ttl, timeout=1.0)
+            assert not result.responded, f"unexpected answer at ttl={ttl}"
+        result = dns_lookup(net, client, resolver_host.ip,
+                            "blocked.example", ttl=3, timeout=1.0)
+        assert result.responded
+        assert result.responder_ip == resolver_host.ip
+
+
+class TestClosedResolver:
+    def test_closed_resolver_ignores_outsiders(self, dns_world):
+        net, client, resolver_host, global_dns = dns_world
+        install_resolver(
+            resolver_host, global_dns,
+            open_to_world=False,
+            client_filter=lambda ip: ip.startswith("10.5."),
+        )
+        result = dns_lookup(net, client, resolver_host.ip, "good.example",
+                            timeout=1.0)
+        assert not result.responded

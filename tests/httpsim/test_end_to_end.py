@@ -1,0 +1,122 @@
+"""End-to-end HTTP over the simulated network."""
+
+import pytest
+
+from repro.httpsim import (
+    GetRequestSpec,
+    OriginServer,
+    fetch_url,
+    http_fetch,
+    make_response,
+)
+from repro.netsim import Network
+
+
+@pytest.fixture
+def world():
+    net = Network()
+    client = net.add_host("client", "10.0.0.1")
+    server_host = net.add_host("web", "93.184.216.34")
+    for i in range(1, 4):
+        net.add_router(f"r{i}", f"10.1.0.{i}")
+    net.link("client", "r1")
+    net.link("r1", "r2")
+    net.link("r2", "r3")
+    net.link("r3", "web")
+    server = OriginServer()
+    body = b"<html><head><title>Example Domain</title></head><body>hello world</body></html>"
+    server.add_domain("example.com", lambda req, ip: make_response(200, body))
+    server.install(server_host)
+    return net, client, server_host, server, body
+
+
+class TestBasicFetch:
+    def test_fetch_returns_content(self, world):
+        net, client, server_host, server, body = world
+        result = fetch_url(net, client, server_host.ip, "example.com")
+        assert result.ok
+        assert result.first_response.status == 200
+        assert result.first_response.body == body
+        assert result.got_fin
+
+    def test_title_extraction(self, world):
+        net, client, server_host, server, body = world
+        result = fetch_url(net, client, server_host.ip, "example.com")
+        assert result.first_response.title() == "Example Domain"
+
+    def test_unknown_domain_is_404(self, world):
+        net, client, server_host, _, _ = world
+        result = fetch_url(net, client, server_host.ip, "nowhere.invalid")
+        assert result.ok
+        assert result.first_response.status == 404
+
+    def test_www_prefix_served_by_bare_domain(self, world):
+        net, client, server_host, _, body = world
+        result = fetch_url(net, client, server_host.ip, "www.example.com")
+        assert result.first_response.status == 200
+        assert result.first_response.body == body
+
+    def test_fetch_to_unreachable_ip_times_out(self, world):
+        net, client, _, _, _ = world
+        result = fetch_url(net, client, "203.0.113.55", "example.com",
+                           timeout=5.0)
+        assert not result.ok
+        assert not result.connected
+
+
+class TestRequestCrafting:
+    def test_case_fudged_host_keyword_still_served(self, world):
+        net, client, server_host, _, body = world
+        spec = GetRequestSpec(domain="example.com", host_keyword="HOst")
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert result.first_response.status == 200
+        assert result.first_response.body == body
+
+    def test_extra_whitespace_around_domain_still_served(self, world):
+        net, client, server_host, _, body = world
+        spec = GetRequestSpec(domain="example.com",
+                              host_pre_space="  ", host_post_space="   ")
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert result.first_response.status == 200
+
+    def test_tab_whitespace_still_served(self, world):
+        net, client, server_host, _, _ = world
+        spec = GetRequestSpec(domain="example.com", host_pre_space="\t")
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert result.first_response.status == 200
+
+    def test_trailing_pseudo_request_gets_two_responses(self, world):
+        net, client, server_host, _, body = world
+        spec = GetRequestSpec(
+            domain="example.com",
+            trailing_raw=b"Host: allowed.com\r\n\r\n",
+        )
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert len(result.responses) == 2
+        assert result.responses[0].status == 200
+        assert result.responses[0].body == body
+        assert result.responses[1].status == 400
+
+    def test_duplicate_differing_host_fields_rejected(self, world):
+        net, client, server_host, _, _ = world
+        spec = GetRequestSpec(
+            domain="example.com",
+            extra_host_lines=["Host: other.com"],
+        )
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert result.first_response.status == 400
+
+    def test_fragmented_request_reassembled(self, world):
+        net, client, server_host, _, body = world
+        spec = GetRequestSpec(domain="example.com")
+        result = http_fetch(net, client, server_host.ip, spec.to_bytes(),
+                            segment_size=8)
+        assert result.first_response.status == 200
+        assert result.first_response.body == body
+
+    def test_server_logs_raw_request(self, world):
+        net, client, server_host, server, _ = world
+        spec = GetRequestSpec(domain="example.com", host_keyword="HOST")
+        http_fetch(net, client, server_host.ip, spec.to_bytes())
+        assert any(b"HOST: example.com" in raw
+                   for _, raw, _ in server.request_log)

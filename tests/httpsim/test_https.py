@@ -1,0 +1,146 @@
+"""TLS model and HTTPS serving/fetching."""
+
+import pytest
+
+from repro.httpsim import (
+    HTTPSOriginServer,
+    client_hello_bytes,
+    https_fetch,
+    make_response,
+    parse_client_hello,
+    seal,
+    split_records,
+    unseal,
+)
+from repro.netsim import Network
+
+
+class TestTLSModel:
+    def test_client_hello_roundtrip(self):
+        raw = client_hello_bytes("secret-site.example", key=0x42)
+        hello = parse_client_hello(raw)
+        assert hello is not None
+        assert hello.sni == "secret-site.example"
+        assert hello.key == 0x42
+
+    def test_seal_unseal_roundtrip(self):
+        data = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+        assert unseal(seal(data, 0x5A), 0x5A) == data
+
+    def test_sealed_data_is_opaque(self):
+        """The censored domain never appears in the sealed bytes — a
+        middlebox grepping for Host lines finds nothing."""
+        data = b"Host: blocked.example\r\n"
+        sealed = seal(data, 0x5A)
+        assert b"blocked.example" not in sealed
+        assert b"Host" not in sealed
+
+    def test_wrong_key_garbles(self):
+        data = b"plaintext"
+        assert unseal(seal(data, 0x10), 0x20) != data
+
+    def test_split_records(self):
+        stream = (client_hello_bytes("a.example")
+                  + seal(b"one", 7) + seal(b"two", 7))
+        records = list(split_records(stream))
+        assert len(records) == 3
+
+    def test_garbage_not_parsed(self):
+        assert parse_client_hello(b"GET / HTTP/1.1") is None
+        assert unseal(b"junkjunkjunk", 1) is None
+        assert list(split_records(b"junk")) == []
+
+
+@pytest.fixture
+def https_world():
+    net = Network()
+    client = net.add_host("client", "10.0.0.1")
+    server_host = net.add_host("web", "93.184.216.34")
+    net.add_router("r1", "10.1.0.1")
+    net.link("client", "r1")
+    net.link("r1", "web")
+    server = HTTPSOriginServer()
+    body = b"<html><title>Secret</title><body>tls content</body></html>"
+    server.add_domain("secure.example",
+                      lambda sni, ip: make_response(200, body))
+    server.install(server_host)
+    return net, client, server_host, body
+
+
+class TestHTTPSFetch:
+    def test_fetch_ok(self, https_world):
+        net, client, server_host, body = https_world
+        result = https_fetch(net, client, server_host.ip, "secure.example")
+        assert result.ok
+        assert result.handshake_ok
+        assert result.response.body == body
+
+    def test_unknown_sni_rejected(self, https_world):
+        net, client, server_host, _ = https_world
+        result = https_fetch(net, client, server_host.ip, "other.example")
+        assert not result.ok
+        assert result.got_rst
+
+    def test_www_alias(self, https_world):
+        net, client, server_host, body = https_world
+        result = https_fetch(net, client, server_host.ip,
+                             "www.secure.example")
+        assert result.ok
+
+    def test_unreachable_times_out(self, https_world):
+        net, client, _, _ = https_world
+        result = https_fetch(net, client, "203.0.113.9", "secure.example",
+                             timeout=1.5)
+        assert not result.ok
+        assert result.outcome() == "unreachable"
+
+
+class TestHTTPSThroughMiddleboxes:
+    def test_https_immune_to_http_middleboxes(self, small_world):
+        """The paper's finding: HTTP middleboxes never touch port 443."""
+        world = small_world
+        https_sites = [s for s in world.corpus if s.https]
+        if not https_sites:
+            pytest.skip("no https sites in small corpus")
+        client = world.client_of("idea")  # highest coverage ISP
+        blocked_https = [s for s in https_sites
+                         if s.domain in world.blocklists.http["idea"]]
+        sites = blocked_https or https_sites
+        for site in sites[:3]:
+            ip = world.hosting.ip_for(site.domain, "in")
+            result = https_fetch(world.network, client, ip, site.domain)
+            assert result.ok, site.domain
+
+    def test_http_side_redirects_to_https(self, small_world):
+        world = small_world
+        https_sites = [s for s in world.corpus if s.https]
+        if not https_sites:
+            pytest.skip("no https sites in small corpus")
+        site = https_sites[0]
+        from repro.httpsim import fetch_url
+        client = world.client_of("nkn")
+        ip = world.hosting.ip_for(site.domain, "in")
+        result = fetch_url(world.network, client, ip, site.domain)
+        assert result.first_response.status == 301
+        assert result.first_response.header("Location") == \
+            f"https://{site.domain}/"
+
+    def test_dns_poisoning_breaks_https(self, small_world):
+        """...while resolver poisoning still does (the <5 instances)."""
+        world = small_world
+        from repro.core.measure import resolver_service_at
+        deployment = world.isp("mtnl")
+        service = resolver_service_at(world.network,
+                                      deployment.default_resolver_ip)
+        https_blocked = [s for s in world.corpus
+                         if s.https and s.domain in service.config.blocklist]
+        if not https_blocked:
+            pytest.skip("no poisoned https site in small corpus")
+        site = https_blocked[0]
+        from repro.core.vantage import VantagePoint
+        vantage = VantagePoint.inside(world, "mtnl")
+        lookup = vantage.resolve(site.domain)
+        assert lookup.ok
+        result = https_fetch(world.network, vantage.host, lookup.ips[0],
+                             site.domain, timeout=2.0)
+        assert not result.ok

@@ -1,0 +1,128 @@
+"""ISP builder internals: deployments must encode the profiles."""
+
+import pytest
+
+from repro.isps import HTTP_FILTERING_ISPS, PROFILES, profile
+
+
+class TestProfiles:
+    def test_profile_lookup(self):
+        assert profile("airtel").name == "airtel"
+        with pytest.raises(KeyError):
+            profile("nosuchisp")
+
+    def test_pools_disjoint(self):
+        from repro.netsim import Prefix
+        pools = [Prefix.parse(p.pool) for p in PROFILES.values()]
+        for i, a in enumerate(pools):
+            for b in pools[i + 1:]:
+                a_range = (a.network, a.network + a.size)
+                b_range = (b.network, b.network + b.size)
+                assert a_range[1] <= b_range[0] or b_range[1] <= a_range[0]
+
+    def test_upstreams_reference_real_isps(self):
+        for p in PROFILES.values():
+            for upstream, weight in p.upstreams:
+                assert upstream in PROFILES
+                assert weight >= 1
+
+    def test_peering_sizes_fit_master_lists(self):
+        from repro.websites import HTTP_BLOCKLIST_SIZES
+        for p in PROFILES.values():
+            if not p.peering_list_sizes:
+                continue
+            master = HTTP_BLOCKLIST_SIZES[p.name]
+            for stub, size in p.peering_list_sizes.items():
+                assert size <= master, (p.name, stub)
+
+    def test_mechanism_classification_helpers(self):
+        assert profile("airtel").censors_http
+        assert profile("airtel").middlebox_kind == "wiretap"
+        assert profile("idea").middlebox_kind == "interceptive"
+        assert profile("mtnl").censors_dns
+        assert not profile("mtnl").censors_http
+        assert profile("nkn").middlebox_kind is None
+
+
+class TestDeployedBoxes:
+    def test_box_counts_track_coverage(self, small_world):
+        for isp in HTTP_FILTERING_ISPS:
+            deployment = small_world.isp(isp)
+            n_agg = len(deployment.aggregation)
+            expected = round(n_agg * deployment.profile.inside_coverage)
+            assert len(deployment.middleboxes) == max(1, expected) or \
+                len(deployment.middleboxes) == expected
+
+    def test_box_blocklists_subsets_of_master(self, small_world):
+        for isp in HTTP_FILTERING_ISPS:
+            deployment = small_world.isp(isp)
+            for box in deployment.middleboxes:
+                assert box.spec.blocklist <= deployment.http_blocklist
+
+    def test_trigger_disciplines_per_family(self, small_world):
+        airtel_box = small_world.isp("airtel").middleboxes[0]
+        assert airtel_box.spec.exact_keyword_case
+        assert not airtel_box.spec.strict_value_whitespace
+
+        idea_box = small_world.isp("idea").middleboxes[0]
+        assert not idea_box.spec.exact_keyword_case
+        assert idea_box.spec.strict_value_whitespace
+        assert not idea_box.spec.inspect_last_host_only
+
+        vodafone_box = small_world.isp("vodafone").middleboxes[0]
+        assert vodafone_box.spec.inspect_last_host_only
+
+    def test_jio_boxes_source_scoped(self, small_world):
+        for box in small_world.isp("jio").middleboxes:
+            assert box.source_prefixes is not None
+            assert box.in_scope(small_world.client_of("jio").ip)
+            assert not box.in_scope("8.8.8.8")
+
+    def test_airtel_ip_id_quirk_configured(self, small_world):
+        for box in small_world.isp("airtel").middleboxes:
+            assert box.fixed_ip_id == 242
+        for box in small_world.isp("jio").middleboxes:
+            assert box.fixed_ip_id is None
+
+    def test_middlebox_routers_anonymized(self, small_world):
+        for isp in HTTP_FILTERING_ISPS:
+            for box in small_world.isp(isp).middleboxes:
+                assert box.router is not None
+                assert box.router.anonymized
+
+    def test_all_boxes_inspect_port_80_only(self, small_world):
+        """Section 6.3: every deployed box inspects TCP 80 only."""
+        for box in small_world.all_middleboxes():
+            assert box.spec.ports == (80,)
+            assert not box.spec.inspects_port(443)
+            assert not box.spec.inspects_port(8080)
+
+    def test_boxes_require_handshake(self, small_world):
+        for box in small_world.all_middleboxes():
+            assert box.require_handshake
+
+
+class TestResolverDeployment:
+    def test_mtnl_poisoned_fraction_matches_profile(self, small_world):
+        deployment = small_world.isp("mtnl")
+        poisoned = deployment.poisoned_resolver_ips()
+        # Scaled 383-of-448; allow slack for rounding plus the extra
+        # honest client resolver.
+        fraction = len(poisoned) / (len(deployment.resolvers) - 1)
+        assert 0.7 < fraction < 0.95
+
+    def test_poison_answers_use_isp_space_or_bogons(self, small_world):
+        from repro.netsim import is_bogon
+        deployment = small_world.isp("mtnl")
+        for ip, service in deployment.resolvers:
+            if not service.config.is_poisoned:
+                continue
+            for domain in sorted(service.config.blocklist)[:3]:
+                answer = service.config.poison_strategy(domain)
+                assert is_bogon(answer) or deployment.pool.contains(answer)
+
+    def test_resolver_blocklists_sample_dns_master(self, small_world):
+        deployment = small_world.isp("mtnl")
+        master = deployment.dns_blocklist
+        for _, service in deployment.resolvers:
+            assert service.config.blocklist <= master

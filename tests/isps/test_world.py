@@ -1,0 +1,157 @@
+"""World assembly: structure, determinism, ISP deployments."""
+
+import pytest
+
+from repro.httpsim import GetRequestSpec, fetch_url, http_fetch
+from repro.isps import (
+    DNS_FILTERING_ISPS,
+    HTTP_FILTERING_ISPS,
+    PROFILES,
+    build_world,
+)
+from repro.middlebox import identify_isp, looks_like_block_page
+from repro.netsim import Prefix
+
+
+class TestAssembly:
+    def test_all_isps_present(self, small_world):
+        assert set(small_world.isps) == set(PROFILES)
+
+    def test_every_isp_has_client_and_border(self, small_world):
+        for deployment in small_world.isps.values():
+            assert deployment.client is not None
+            assert deployment.border is not None
+            assert deployment.aggregation
+
+    def test_http_isps_have_middleboxes(self, small_world):
+        for name in HTTP_FILTERING_ISPS:
+            assert small_world.isp(name).middleboxes
+
+    def test_non_censoring_stubs_have_no_own_boxes(self, small_world):
+        for name in ("nkn", "sify", "siti", "mtnl", "bsnl"):
+            assert not small_world.isp(name).middleboxes
+
+    def test_dns_isps_have_poisoned_resolvers(self, small_world):
+        for name in DNS_FILTERING_ISPS:
+            deployment = small_world.isp(name)
+            assert deployment.poisoned_resolver_ips()
+            assert deployment.default_resolver_ip in \
+                deployment.poisoned_resolver_ips()
+
+    def test_http_isps_default_resolver_is_honest(self, small_world):
+        for name in HTTP_FILTERING_ISPS:
+            deployment = small_world.isp(name)
+            assert deployment.default_resolver_ip == \
+                deployment.honest_resolver_ip
+
+    def test_middlebox_kinds_match_profiles(self, small_world):
+        assert all(b.kind == "wiretap"
+                   for b in small_world.isp("airtel").middleboxes)
+        assert all(b.kind == "wiretap"
+                   for b in small_world.isp("jio").middleboxes)
+        assert all(b.kind == "interceptive"
+                   for b in small_world.isp("idea").middleboxes)
+        assert all(b.kind == "interceptive"
+                   for b in small_world.isp("vodafone").middleboxes)
+
+    def test_peering_boxes_match_table3(self, small_world):
+        assert set(small_world.isp("vodafone").peering_boxes) == {"nkn"}
+        assert set(small_world.isp("tata").peering_boxes) == {
+            "nkn", "sify", "mtnl", "bsnl"}
+        assert set(small_world.isp("airtel").peering_boxes) == {
+            "siti", "sify", "mtnl", "bsnl"}
+
+    def test_isp_owning(self, small_world):
+        airtel_client_ip = small_world.client_of("airtel").ip
+        assert small_world.isp_owning(airtel_client_ip) == "airtel"
+        assert small_world.isp_owning("8.8.8.8") is None
+
+    def test_scan_targets_inside_isp_prefixes(self, small_world):
+        for deployment in small_world.isps.values():
+            pool = deployment.pool
+            for ip in deployment.scan_targets:
+                assert pool.contains(ip)
+
+    def test_subset_world_includes_upstreams(self):
+        world = build_world(scale=0.1, isp_names=["nkn"])
+        assert "vodafone" in world.isps
+        assert "tata" in world.isps
+
+
+class TestDeterminism:
+    def test_same_seed_same_world(self):
+        a = build_world(seed=7, scale=0.1, isp_names=["airtel"])
+        b = build_world(seed=7, scale=0.1, isp_names=["airtel"])
+        assert [s.domain for s in a.corpus] == [s.domain for s in b.corpus]
+        assert a.blocklists.http == b.blocklists.http
+        boxes_a = [box.spec.blocklist for box in a.isp("airtel").middleboxes]
+        boxes_b = [box.spec.blocklist for box in b.isp("airtel").middleboxes]
+        assert boxes_a == boxes_b
+
+    def test_different_seed_differs(self):
+        a = build_world(seed=7, scale=0.1, isp_names=["airtel"])
+        b = build_world(seed=8, scale=0.1, isp_names=["airtel"])
+        assert [s.domain for s in a.corpus] != [s.domain for s in b.corpus]
+
+
+class TestConnectivity:
+    def test_client_can_fetch_unblocked_site(self, small_world):
+        world = small_world
+        blocked_any = world.blocklists.all_blocked_domains()
+        site = next(s for s in world.corpus
+                    if s.domain not in blocked_any and s.hosting == "normal")
+        for isp in ("airtel", "nkn", "jio", "mtnl"):
+            client = world.client_of(isp)
+            ip = world.hosting.ip_for(site.domain, "in")
+            result = fetch_url(world.network, client, ip, site.domain)
+            assert result.ok, f"{isp} could not fetch clean site"
+            assert result.first_response.status == 200
+
+    def test_vantage_point_can_reach_isp_scan_targets(self, small_world):
+        world = small_world
+        vp = world.vantage_points[0]
+        for isp in HTTP_FILTERING_ISPS:
+            target = world.isp(isp).scan_targets[0]
+            request = GetRequestSpec(domain="probe.example").to_bytes()
+            result = http_fetch(world.network, vp, target, request)
+            assert result.ok
+            assert result.first_response.status == 404
+
+    def test_idea_censors_most_of_its_blocklist_inline(self, small_world):
+        world = small_world
+        client = world.client_of("idea")
+        blocked = sorted(world.blocklists.http["idea"])
+        censored = 0
+        for domain in blocked:
+            ip = world.hosting.ip_for(domain, "in")
+            result = fetch_url(world.network, client, ip, domain)
+            response = result.first_response
+            if response is not None and looks_like_block_page(response.body):
+                censored += 1
+                assert identify_isp(response.body) == "idea"
+        # Idea: coverage .92 x consistency .77 -> most sites censored.
+        assert censored >= len(blocked) * 0.45
+
+    def test_jio_invisible_from_outside(self, small_world):
+        world = small_world
+        vp = world.vantage_points[1]
+        target = world.isp("jio").scan_targets[0]
+        for domain in sorted(world.blocklists.http["jio"])[:10]:
+            request = GetRequestSpec(domain=domain).to_bytes()
+            result = http_fetch(world.network, vp, target, request)
+            response = result.first_response
+            assert response is not None
+            assert not looks_like_block_page(response.body)
+
+    def test_nkn_suffers_vodafone_collateral(self, small_world):
+        world = small_world
+        client = world.client_of("nkn")
+        box = world.isp("vodafone").peering_boxes["nkn"]
+        resets = 0
+        for domain in sorted(box.spec.blocklist):
+            ip = world.hosting.ip_for(domain, "in")
+            result = fetch_url(world.network, client, ip, domain)
+            if result.got_rst and not result.ok:
+                resets += 1
+        # Most NKN traffic transits Vodafone (weight 8:1).
+        assert resets >= len(box.spec.blocklist) * 0.5

@@ -1,0 +1,64 @@
+"""Section 6.1 attribution heuristics."""
+
+import pytest
+
+from repro.core.measure import (
+    attribute_censorship,
+    canonical_payload,
+    express_http_probe,
+)
+
+
+def censored_target(world, isp):
+    client = world.client_of(isp)
+    for domain in sorted(world.blocklists.http[isp]):
+        dst_ip = world.hosting.ip_for(domain, "in")
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            return domain, dst_ip
+    pytest.skip(f"no censored site for {isp}")
+
+
+class TestAttribution:
+    def test_idea_attributed_despite_anonymized_box(self, small_world):
+        world = small_world
+        domain, dst_ip = censored_target(world, "idea")
+        result = attribute_censorship(world, world.client_of("idea"),
+                                      dst_ip, domain)
+        assert result.attributed
+        assert result.isp == "idea"
+        # The censoring hop itself never answers traceroute.
+        assert result.method in ("surrounded-asterisk", "fingerprint")
+
+    def test_airtel_attribution(self, small_world):
+        world = small_world
+        domain, dst_ip = censored_target(world, "airtel")
+        result = attribute_censorship(world, world.client_of("airtel"),
+                                      dst_ip, domain)
+        assert result.isp == "airtel"
+
+    def test_collateral_attributed_to_neighbour(self, small_world):
+        """A Sify client's censorship is pinned on TATA, not Sify."""
+        world = small_world
+        box = world.isp("tata").peering_boxes["sify"]
+        domain = sorted(box.spec.blocklist)[0]
+        dst_ip = world.hosting.ip_for(domain, "in")
+        client = world.client_of("sify")
+        verdict = express_http_probe(world.network, client, dst_ip,
+                                     canonical_payload(domain))
+        if not verdict.censored:
+            pytest.skip("domain routes around the tata peering box")
+        result = attribute_censorship(world, client, dst_ip, domain)
+        assert result.isp == "tata"
+
+    def test_uncensored_path_unattributed(self, small_world):
+        world = small_world
+        blocked = world.blocklists.all_blocked_domains()
+        clean = next(s.domain for s in world.corpus
+                     if s.domain not in blocked)
+        dst_ip = world.hosting.ip_for(clean, "in")
+        result = attribute_censorship(world, world.client_of("idea"),
+                                      dst_ip, clean)
+        assert not result.attributed
+        assert "no censorship" in result.notes

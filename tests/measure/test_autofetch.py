@@ -1,0 +1,105 @@
+"""The censorship-aware fetcher."""
+
+import pytest
+
+from repro.core.evasion.autofetch import CensorshipAwareFetcher
+from repro.core.measure import canonical_payload, express_http_probe
+
+
+def censored_domains(world, isp, limit=3):
+    client = world.client_of(isp)
+    found = []
+    for domain in sorted(world.blocklists.http[isp]):
+        ip = world.hosting.ip_for(domain, "in")
+        verdict = express_http_probe(world.network, client, ip,
+                                     canonical_payload(domain))
+        if verdict.censored:
+            found.append(domain)
+            if len(found) >= limit:
+                break
+    if not found:
+        pytest.skip(f"no censored domains for {isp}")
+    return found
+
+
+class TestCleanFetch:
+    def test_uncensored_site_fetched_plainly(self, small_world):
+        world = small_world
+        blocked = world.blocklists.all_blocked_domains()
+        clean = next(s.domain for s in world.corpus
+                     if s.domain not in blocked and s.hosting == "normal"
+                     and not s.https)
+        fetcher = CensorshipAwareFetcher(world, "airtel")
+        outcome = fetcher.fetch(clean)
+        assert outcome.success
+        assert not outcome.censorship_detected
+        assert outcome.strategy_used is None
+
+
+class TestEvadingFetch:
+    def test_idea_censored_site_auto_evaded(self, small_world):
+        world = small_world
+        domain = censored_domains(world, "idea", 1)[0]
+        fetcher = CensorshipAwareFetcher(world, "idea")
+        outcome = fetcher.fetch(domain)
+        assert outcome.censorship_detected
+        assert outcome.success, outcome.detail
+        assert outcome.strategy_used in (
+            "host-value-whitespace", "host-value-tab",
+            "host-trailing-space")
+
+    def test_airtel_censored_site_auto_evaded(self, small_world):
+        world = small_world
+        domain = censored_domains(world, "airtel", 1)[0]
+        fetcher = CensorshipAwareFetcher(world, "airtel")
+        outcome = fetcher.fetch(domain)
+        assert outcome.success, outcome.detail
+        assert outcome.strategy_used is not None
+
+    def test_strategy_memory_short_circuits(self, small_world):
+        world = small_world
+        domains = censored_domains(world, "idea", 3)
+        fetcher = CensorshipAwareFetcher(world, "idea")
+        first = fetcher.fetch(domains[0])
+        assert first.success
+        # The second censored fetch starts with the remembered winner.
+        second = fetcher.fetch(domains[1])
+        assert second.success
+        assert second.strategies_tried[0] == first.strategy_used
+
+    def test_mtnl_dns_poisoning_auto_evaded(self, small_world):
+        world = small_world
+        from repro.core.measure import resolver_service_at
+        deployment = world.isp("mtnl")
+        service = resolver_service_at(world.network,
+                                      deployment.default_resolver_ip)
+        # Pick a DNS-blocked site that is not also HTTP-collateral-hit.
+        client = deployment.client
+        domain = None
+        for candidate in sorted(service.config.blocklist):
+            ip = world.hosting.ip_for(candidate, "in")
+            if ip is None:
+                continue
+            verdict = express_http_probe(world.network, client, ip,
+                                         canonical_payload(candidate))
+            if not verdict.censored:
+                domain = candidate
+                break
+        if domain is None:
+            pytest.skip("every DNS-blocked site also collateral-blocked")
+        fetcher = CensorshipAwareFetcher(world, "mtnl")
+        outcome = fetcher.fetch(domain)
+        assert outcome.censorship_detected
+        assert outcome.success, outcome.detail
+        assert outcome.strategy_used == "alternate-resolver"
+
+    def test_stats(self, small_world):
+        world = small_world
+        domain = censored_domains(world, "idea", 1)[0]
+        fetcher = CensorshipAwareFetcher(world, "idea")
+        fetcher.fetch(domain)
+        stats = fetcher.stats()
+        assert stats["fetches"] == 1
+        assert stats["censored"] == 1
+        assert stats["evaded"] == 1
+        assert stats["failed"] == 0

@@ -1,0 +1,198 @@
+"""Anti-censorship strategies against each middlebox family (section 5)."""
+
+import pytest
+
+from repro.core.evasion import (
+    ClientFirewall,
+    FirewallRule,
+    STRATEGIES,
+    attempt_strategy,
+    drop_fin_rst_from,
+    drop_fin_rst_with_ip_id,
+    evade_all,
+    strategy,
+)
+from repro.core.measure import canonical_payload, express_http_probe
+from repro.core.vantage import VantagePoint
+from repro.netsim import TCPFlags, make_tcp_packet
+
+
+def censored_domains(world, isp, limit=4):
+    client = world.client_of(isp)
+    found = []
+    for candidate in sorted(world.blocklists.http[isp]):
+        ip = world.hosting.ip_for(candidate, "in")
+        verdict = express_http_probe(world.network, client, ip,
+                                     canonical_payload(candidate))
+        if verdict.censored:
+            found.append(candidate)
+            if len(found) >= limit:
+                break
+    if not found:
+        pytest.skip(f"no censored domains for {isp} in small world")
+    return found
+
+
+def run_strategy(world, isp, name, domain):
+    vantage = VantagePoint.inside(world, isp)
+    return attempt_strategy(world, vantage, domain, strategy(name))
+
+
+class TestWiretapEvasion:
+    """Airtel/Jio (wiretap): case fudging and FIN/RST dropping work."""
+
+    def test_case_fudging_beats_airtel(self, small_world):
+        domain = censored_domains(small_world, "airtel", 1)[0]
+        attempt = run_strategy(small_world, "airtel",
+                               "host-keyword-case", domain)
+        assert attempt.success, attempt.detail
+
+    def test_firewall_beats_airtel(self, small_world):
+        domain = censored_domains(small_world, "airtel", 1)[0]
+        attempt = run_strategy(small_world, "airtel", "drop-fin-rst", domain)
+        assert attempt.success, attempt.detail
+
+    def test_fragmentation_beats_airtel(self, small_world):
+        domain = censored_domains(small_world, "airtel", 1)[0]
+        attempt = run_strategy(small_world, "airtel", "fragmented-get",
+                               domain)
+        assert attempt.success, attempt.detail
+
+    def test_www_prepend_beats_airtel(self, small_world):
+        domain = censored_domains(small_world, "airtel", 1)[0]
+        attempt = run_strategy(small_world, "airtel", "www-prepend", domain)
+        assert attempt.success, attempt.detail
+
+    def test_whitespace_does_not_beat_airtel(self, small_world):
+        """Airtel's wiretap matcher tolerates whitespace."""
+        domain = censored_domains(small_world, "airtel", 1)[0]
+        attempt = run_strategy(small_world, "airtel",
+                               "host-value-whitespace", domain)
+        assert not attempt.success
+
+
+class TestOvertIMEvasion:
+    """Idea (overt interceptive): whitespace fudging works; case
+    fudging and the client firewall do not."""
+
+    def test_whitespace_beats_idea(self, small_world):
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea",
+                               "host-value-whitespace", domain)
+        assert attempt.success, attempt.detail
+
+    def test_tab_beats_idea(self, small_world):
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea", "host-value-tab", domain)
+        assert attempt.success, attempt.detail
+
+    def test_trailing_space_beats_idea(self, small_world):
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea",
+                               "host-trailing-space", domain)
+        assert attempt.success, attempt.detail
+
+    def test_case_fudging_fails_against_idea(self, small_world):
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea",
+                               "host-keyword-case", domain)
+        assert not attempt.success
+
+    def test_firewall_fails_against_idea(self, small_world):
+        """An in-path box eats the request; dropping injected packets
+        at the client cannot conjure a response."""
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea", "drop-fin-rst", domain)
+        assert not attempt.success
+
+    def test_www_prepend_fails_against_idea(self, small_world):
+        """Idea's boxes match the www alias."""
+        domain = censored_domains(small_world, "idea", 1)[0]
+        attempt = run_strategy(small_world, "idea", "www-prepend", domain)
+        assert not attempt.success
+
+
+class TestCovertIMEvasion:
+    """Vodafone (covert interceptive): the trailing-Host decoy works.
+
+    Vodafone's coverage is so sparse (11% of paths) that the small
+    world's client paths may dodge every box — itself a faithful
+    property — so these tests run on the full-size world.
+    """
+
+    def test_trailing_host_beats_vodafone(self, full_world):
+        domain = censored_domains(full_world, "vodafone", 1)[0]
+        attempt = run_strategy(full_world, "vodafone",
+                               "trailing-uncensored-host", domain)
+        assert attempt.success, attempt.detail
+
+    def test_whitespace_fails_against_vodafone(self, full_world):
+        domain = censored_domains(full_world, "vodafone", 1)[0]
+        attempt = run_strategy(full_world, "vodafone",
+                               "host-value-whitespace", domain)
+        assert not attempt.success
+
+
+class TestDNSEvasion:
+    def test_alternate_resolver_beats_mtnl(self, small_world):
+        world = small_world
+        from repro.core.measure import resolver_service_at
+        deployment = world.isp("mtnl")
+        service = resolver_service_at(world.network,
+                                      deployment.default_resolver_ip)
+        domain = sorted(service.config.blocklist)[0]
+        # Only count DNS-censored sites not also HTTP-collateral-hit.
+        attempt = run_strategy(world, "mtnl", "alternate-resolver", domain)
+        if not attempt.success:
+            assert attempt.detail in ("reset", "block page received"), \
+                attempt.detail  # transit collateral, not DNS failure
+        else:
+            assert attempt.success
+
+
+class TestEvadeAll:
+    def test_every_censored_site_has_a_working_strategy(self, full_world):
+        """The paper's headline claim, per ISP."""
+        world = full_world
+        for isp in ("airtel", "idea", "vodafone"):
+            domains = censored_domains(world, isp, limit=3)
+            winners = evade_all(world, isp, domains)
+            for domain, winner in winners.items():
+                assert winner is not None, f"{isp}/{domain} not evaded"
+
+
+class TestFirewallUnit:
+    def test_rule_matches_flags_and_source(self):
+        rule = drop_fin_rst_from("1.2.3.4")
+        fin = make_tcp_packet("1.2.3.4", "10.0.0.1", 80, 5000,
+                              flags=TCPFlags.FIN | TCPFlags.ACK)
+        data = make_tcp_packet("1.2.3.4", "10.0.0.1", 80, 5000,
+                               flags=TCPFlags.ACK, payload=b"x")
+        other = make_tcp_packet("9.9.9.9", "10.0.0.1", 80, 5000,
+                                flags=TCPFlags.RST)
+        assert rule.matches(fin)
+        assert not rule.matches(data)
+        assert not rule.matches(other)
+
+    def test_ip_id_rule(self):
+        rule = drop_fin_rst_with_ip_id(242)
+        injected = make_tcp_packet("8.8.4.4", "10.0.0.1", 80, 5000,
+                                   flags=TCPFlags.RST, ip_id=242)
+        genuine = make_tcp_packet("8.8.4.4", "10.0.0.1", 80, 5000,
+                                  flags=TCPFlags.RST, ip_id=7)
+        assert rule.matches(injected)
+        assert not rule.matches(genuine)
+
+    def test_firewall_logs_drops(self):
+        firewall = ClientFirewall(rules=[drop_fin_rst_with_ip_id(242)])
+        packet = make_tcp_packet("8.8.4.4", "10.0.0.1", 80, 5000,
+                                 flags=TCPFlags.FIN, ip_id=242)
+        assert not firewall.allows(packet)
+        assert len(firewall.dropped) == 1
+        ok_packet = make_tcp_packet("8.8.4.4", "10.0.0.1", 80, 5000,
+                                    flags=TCPFlags.ACK, payload=b"d")
+        assert firewall.allows(ok_packet)
+
+    def test_strategy_catalogue_names_unique(self):
+        names = [s.name for s in STRATEGIES]
+        assert len(names) == len(set(names))

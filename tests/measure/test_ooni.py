@@ -1,0 +1,129 @@
+"""OONI model: its verdicts and, crucially, its documented mistakes."""
+
+import pytest
+
+from repro.core.measure import (
+    BLOCKING_DNS,
+    BLOCKING_HTTP,
+    BLOCKING_NONE,
+    canonical_payload,
+    express_http_probe,
+    run_ooni,
+    web_connectivity,
+)
+from repro.core.vantage import VantagePoint
+
+
+def censored_domain_for(world, isp, hosting=None):
+    """A domain actually censored on the ISP client's own path."""
+    client = world.client_of(isp)
+    for candidate in sorted(world.blocklists.http[isp]):
+        site = world.corpus.get(candidate)
+        if hosting is not None and site.hosting != hosting:
+            continue
+        ip = world.hosting.ip_for(candidate, "in")
+        verdict = express_http_probe(world.network, client, ip,
+                                     canonical_payload(candidate))
+        if verdict.censored:
+            yield candidate
+
+
+class TestVerdicts:
+    def test_clean_static_site_is_none(self, small_world):
+        world = small_world
+        blocked_any = world.blocklists.all_blocked_domains()
+        site = next(s for s in world.corpus
+                    if s.hosting == "normal" and not s.dynamic
+                    and s.domain not in blocked_any)
+        vantage = VantagePoint.inside(world, "airtel")
+        result = web_connectivity(world, vantage, site.domain)
+        assert result.blocking == BLOCKING_NONE
+
+    def test_cdn_site_false_positive_dns(self, small_world):
+        """CDN-hosted sites resolve regionally: OONI wrongly reports
+        dns blocking (section 3.1)."""
+        world = small_world
+        blocked_any = world.blocklists.all_blocked_domains()
+        site = next(s for s in world.corpus
+                    if s.hosting == "cdn" and s.domain not in blocked_any)
+        vantage = VantagePoint.inside(world, "airtel")
+        result = web_connectivity(world, vantage, site.domain)
+        assert result.blocking == BLOCKING_DNS
+        assert not result.dns_consistent
+
+    def test_covert_reset_flagged_http(self, small_world):
+        """Vodafone's covert IM resets the experiment fetch; OONI sees
+        the failure and flags http — its recall is decent there."""
+        world = small_world
+        domains = list(censored_domain_for(world, "vodafone"))
+        if not domains:
+            pytest.skip("no censored site on this client's paths")
+        vantage = VantagePoint.inside(world, "vodafone")
+        result = web_connectivity(world, vantage, domains[0])
+        assert result.blocking == BLOCKING_HTTP
+
+    def test_block_page_with_matching_headers_is_false_negative(
+            self, small_world):
+        """A censored site whose real page emits only the standard
+        header names: the block page mimics them, so OONI calls the
+        site accessible (section 6.2, FN cause 2)."""
+        world = small_world
+        vantage = VantagePoint.inside(world, "idea")
+        for domain in censored_domain_for(world, "idea"):
+            site = world.corpus.get(domain)
+            if site.extra_headers or site.is_dead:
+                continue
+            result = web_connectivity(world, vantage, domain)
+            assert result.headers_match is True
+            assert result.blocking == BLOCKING_NONE
+            return
+        pytest.skip("no standard-header censored site in sample")
+
+    def test_small_page_censored_is_false_negative(self, small_world):
+        """A tiny real page (redirect/login stub) is about the size of
+        the notification: body proportion saves it (FN cause 1)."""
+        world = small_world
+        vantage = VantagePoint.inside(world, "idea")
+        for domain in censored_domain_for(world, "idea"):
+            site = world.corpus.get(domain)
+            if site.page_style not in ("redirect", "login"):
+                continue
+            if site.is_dead:
+                continue
+            result = web_connectivity(world, vantage, domain)
+            if result.body_length_match:
+                assert result.blocking == BLOCKING_NONE
+                return
+        pytest.skip("no small-page censored site in sample")
+
+    def test_full_page_censored_is_detected(self, small_world):
+        """A large page with distinctive headers: all three signals
+        fail, OONI correctly flags http blocking."""
+        world = small_world
+        vantage = VantagePoint.inside(world, "idea")
+        for domain in censored_domain_for(world, "idea"):
+            site = world.corpus.get(domain)
+            if (site.page_style == "full" and site.extra_headers
+                    and not site.is_dead and site.body_size > 900):
+                result = web_connectivity(world, vantage, domain)
+                assert result.blocking == BLOCKING_HTTP
+                return
+        pytest.skip("no large censored site in sample")
+
+
+class TestRun:
+    def test_run_over_sample(self, small_world):
+        world = small_world
+        domains = world.corpus.domains()[:30]
+        run = run_ooni(world, "airtel", domains)
+        assert len(run.results) == 30
+        counts = run.counts()
+        assert sum(counts.values()) == 30
+
+    def test_flagged_filtering(self, small_world):
+        world = small_world
+        domains = world.corpus.domains()[:30]
+        run = run_ooni(world, "airtel", domains)
+        assert run.flagged() >= run.flagged(BLOCKING_DNS)
+        assert run.flagged(BLOCKING_DNS) | run.flagged(BLOCKING_HTTP) \
+            | run.flagged("tcp") == run.flagged()

@@ -1,0 +1,106 @@
+"""Report serialization."""
+
+import json
+
+import pytest
+
+from repro.core.measure import (
+    measure_coverage_inside,
+    run_ooni,
+    scan_isp_resolvers,
+)
+from repro.core.measure.reporting import (
+    blocking_series_csv,
+    coverage_report,
+    coverage_series_csv,
+    ooni_run_report,
+    ooni_run_to_json,
+    precision_recall_table,
+    resolver_scan_report,
+    resolver_series_csv,
+)
+
+
+@pytest.fixture(scope="module")
+def ooni_run(small_world):
+    return run_ooni(small_world, "airtel",
+                    small_world.corpus.domains()[:20])
+
+
+class TestOONIReports:
+    def test_run_report_structure(self, ooni_run):
+        report = ooni_run_report(ooni_run)
+        assert report["measurement_count"] == 20
+        assert report["anomaly_count"] == len(ooni_run.flagged())
+        assert len(report["measurements"]) == 20
+
+    def test_site_record_shape(self, ooni_run):
+        record = ooni_run_report(ooni_run)["measurements"][0]
+        assert record["test_name"] == "web_connectivity"
+        keys = record["test_keys"]
+        assert keys["dns_consistency"] in ("consistent", "inconsistent")
+        assert isinstance(keys["accessible"], bool)
+        assert keys["blocking"] in (False, "dns", "tcp", "http")
+
+    def test_json_round_trips(self, ooni_run):
+        text = ooni_run_to_json(ooni_run)
+        parsed = json.loads(text)
+        assert parsed["measurement_count"] == 20
+
+
+class TestCampaignReports:
+    def test_coverage_report(self, small_world):
+        result = measure_coverage_inside(
+            small_world, "idea",
+            domains=small_world.corpus.domains()[:40])
+        report = coverage_report(result)
+        assert report["isp"] == "idea"
+        assert report["paths_total"] == len(result.paths)
+        assert 0 <= report["coverage"] <= 1
+        json.dumps(report)  # must be serializable
+
+    def test_resolver_scan_report(self, small_world):
+        deployment = small_world.isp("bsnl")
+        scan = scan_isp_resolvers(small_world, "bsnl",
+                                  prefixes=deployment.scan_prefixes)
+        report = resolver_scan_report(scan)
+        assert report["isp"] == "bsnl"
+        assert set(report["censorious_resolvers"]) == set(scan.censorious)
+        json.dumps(report)
+
+
+class TestCSVSeries:
+    def test_blocking_series_csv(self):
+        per_unit = {0: {"a.com", "b.com"}, 1: {"a.com"}}
+        site_ids = {"a.com": 3, "b.com": 7}
+        csv = blocking_series_csv(per_unit, site_ids)
+        lines = csv.strip().splitlines()
+        assert lines[0].startswith("website_id,")
+        assert lines[1] == "3,100.00"
+        assert lines[2] == "7,50.00"
+
+    def test_coverage_series_csv(self, small_world):
+        result = measure_coverage_inside(
+            small_world, "idea",
+            domains=small_world.corpus.domains()[:40])
+        site_ids = {s.domain: s.site_id for s in small_world.corpus}
+        csv = coverage_series_csv(result, site_ids)
+        assert csv.startswith("website_id,percent_of_paths_blocking")
+        assert len(csv.strip().splitlines()) >= 2
+
+    def test_resolver_series_csv(self, small_world):
+        deployment = small_world.isp("mtnl")
+        scan = scan_isp_resolvers(small_world, "mtnl",
+                                  prefixes=deployment.scan_prefixes)
+        site_ids = {s.domain: s.site_id for s in small_world.corpus}
+        csv = resolver_series_csv(scan, site_ids)
+        assert "percent_of_resolvers_blocking" in csv
+
+
+class TestPRTable:
+    def test_structure(self):
+        table = precision_recall_table(
+            {"airtel": {"total": (0.19, 0.11), "http": (0.19, 0.11)}})
+        cell = table["table"]["airtel"]["total"]
+        assert cell == {"precision": 0.19, "recall": 0.11}
+        json.dumps(table)

@@ -1,0 +1,147 @@
+"""The paper's research questions (§1), answered end to end.
+
+The introduction poses five questions; each test here answers one
+using only the measurement layer — the same way the paper's 18-month
+campaign did — against the small world.
+"""
+
+import pytest
+
+from repro.core.measure import (
+    canonical_payload,
+    express_http_probe,
+    measure_collateral_express,
+    measure_coverage_inside,
+)
+
+
+class TestQ1_WhatTriggersCensorship:
+    """"What sequence of protocol messages triggers censorship?" —
+    a complete handshake followed by a GET whose Host names a blocked
+    domain; nothing less."""
+
+    def test_answer(self, small_world):
+        from repro.core.measure import find_controlled_target, \
+            probe_statefulness
+        world = small_world
+        server, domain = find_controlled_target(
+            world, "idea", sorted(world.blocklists.http["idea"]))
+        assert server is not None
+        report = probe_statefulness(world, "idea", domain, server.ip)
+        assert report.stateful
+        assert report.full_handshake
+
+
+class TestQ2_WhatTechniques:
+    """"Exactly what techniques are employed?" — HTTP middleboxes in
+    four ISPs, DNS poisoning in two, nothing else."""
+
+    def test_http_isps(self, small_world):
+        from repro.core.measure import find_controlled_target, \
+            classify_middlebox
+        world = small_world
+        kinds = {}
+        for isp in ("airtel", "idea"):
+            server, domain = find_controlled_target(
+                world, isp, sorted(world.blocklists.http[isp]))
+            if server is None:
+                continue
+            result = classify_middlebox(world, isp, domain,
+                                        server_host=server, attempts=6)
+            kinds[isp] = result.kind
+        assert kinds.get("airtel") == "wiretap"
+        assert kinds.get("idea") == "interceptive"
+
+    def test_dns_isps(self, small_world):
+        from repro.core.measure import scan_isp_resolvers
+        world = small_world
+        scan = scan_isp_resolvers(
+            world, "mtnl", prefixes=world.isp("mtnl").scan_prefixes)
+        assert scan.censorious
+
+    def test_no_tcpip_filtering(self, small_world):
+        from repro.core.measure import detect_tcpip_filtering
+        world = small_world
+        sample = sorted(world.blocklists.http["idea"])[:4]
+        assert not detect_tcpip_filtering(world, "idea",
+                                          sample).any_filtering
+
+
+class TestQ3_FractionOfPathsImpacted:
+    """"Approximately what fraction of network paths are impacted?" —
+    wildly different per ISP (>90% Idea vs single digits Jio)."""
+
+    def test_answer(self, small_world):
+        world = small_world
+        idea = measure_coverage_inside(world, "idea").coverage
+        jio = measure_coverage_inside(world, "jio").coverage
+        assert idea > 0.7
+        assert jio < 0.3
+        assert idea > 2 * jio
+
+
+class TestQ4_UniformityAndConsistency:
+    """"Is censorship uniform and consistent across ISPs?" — no:
+    different ISPs block different (overlapping) sets, and even one
+    ISP's boxes disagree with each other."""
+
+    def test_isps_block_different_sets(self, small_world):
+        """Measured (not configured) censored sets differ across ISPs."""
+        world = small_world
+        measured = {}
+        for isp in ("airtel", "idea"):
+            client = world.client_of(isp)
+            censored = set()
+            for domain in world.corpus.domains():
+                ip = world.hosting.ip_for(domain, "in")
+                if ip is None:
+                    continue
+                verdict = express_http_probe(world.network, client, ip,
+                                             canonical_payload(domain))
+                if verdict.censored:
+                    censored.add(domain)
+            measured[isp] = censored
+        assert measured["airtel"] != measured["idea"]
+        # Some overlap exists (porn blocked broadly)...
+        assert measured["airtel"] or measured["idea"]
+
+    def test_boxes_of_one_isp_disagree(self, small_world):
+        """Per-path blocked sets within Airtel differ (consistency ≪ 1)."""
+        world = small_world
+        campaign = measure_coverage_inside(world, "airtel")
+        poisoned = [p.blocked for p in campaign.paths if p.poisoned]
+        assert len(poisoned) >= 2
+        assert any(a != b for a in poisoned for b in poisoned)
+        assert campaign.consistency < 0.6
+
+    def test_idea_boxes_mostly_agree(self, small_world):
+        world = small_world
+        campaign = measure_coverage_inside(world, "idea")
+        assert campaign.consistency > 0.55
+
+    def test_collateral_reaches_clean_isps(self, small_world):
+        report = measure_collateral_express(small_world, "siti")
+        assert report.total_censored > 0
+        assert "siti" not in report.by_neighbour
+
+
+class TestQ5_HowHardToBypass:
+    """"How hard or easy is it to bypass?" — easy: a crafted request or
+    a local firewall rule suffices; no third-party infrastructure."""
+
+    def test_answer(self, small_world):
+        from repro.core.evasion.autofetch import CensorshipAwareFetcher
+        world = small_world
+        client = world.client_of("idea")
+        domain = next(
+            (d for d in sorted(world.blocklists.http["idea"])
+             if express_http_probe(
+                 world.network, client,
+                 world.hosting.ip_for(d, "in"),
+                 canonical_payload(d)).censored),
+            None)
+        assert domain is not None
+        fetcher = CensorshipAwareFetcher(world, "idea")
+        outcome = fetcher.fetch(domain)
+        assert outcome.censorship_detected
+        assert outcome.success

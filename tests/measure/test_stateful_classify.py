@@ -1,0 +1,109 @@
+"""Statefulness probes and middlebox classification."""
+
+import pytest
+
+from repro.core.measure import (
+    classify_middlebox,
+    estimate_flow_timeout,
+    find_controlled_target,
+    probe_statefulness,
+)
+
+
+def controlled_pair(world, isp):
+    """(server, domain) with a censoring box on the path, or skip."""
+    candidates = sorted(world.blocklists.http[isp])
+    server, domain = find_controlled_target(world, isp, candidates)
+    if server is None:
+        pytest.skip(f"no censoring box on any controlled-server path "
+                    f"for {isp} in the small world")
+    return server, domain
+
+
+class TestStatefulness:
+    @pytest.fixture(scope="class")
+    def idea_report(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "idea")
+        return probe_statefulness(world, "idea", domain, server.ip)
+
+    def test_full_handshake_triggers(self, idea_report):
+        assert idea_report.full_handshake
+
+    def test_incomplete_handshakes_do_not_trigger(self, idea_report):
+        assert not idea_report.no_handshake
+        assert not idea_report.syn_only
+        assert not idea_report.synack_first
+        assert not idea_report.missing_final_ack
+
+    def test_stateful_conclusion(self, idea_report):
+        assert idea_report.stateful
+
+    def test_airtel_wiretap_also_stateful(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "airtel")
+        report = probe_statefulness(world, "airtel", domain, server.ip)
+        assert report.stateful
+
+
+class TestFlowTimeout:
+    def test_timeout_bracketed_around_150s(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "idea")
+        estimate = estimate_flow_timeout(
+            world, "idea", domain, server.ip,
+            idle_candidates=(60.0, 140.0, 170.0))
+        # Deployed boxes purge at 150 s: censored after 140 s idle,
+        # silent after 170 s.
+        assert estimate.lower_bound == 140.0
+        assert estimate.upper_bound == 170.0
+
+
+class TestClassification:
+    def test_idea_classified_interceptive_overt(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "idea")
+        result = classify_middlebox(world, "idea", domain, attempts=6,
+                                    server_host=server)
+        assert result.censorship_observed
+        assert result.kind == "interceptive"
+        assert result.overt is True
+        assert not result.server_saw_request
+        assert result.server_got_foreign_rst
+
+    def test_vodafone_classified_interceptive_covert(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "vodafone")
+        result = classify_middlebox(world, "vodafone", domain, attempts=6,
+                                    server_host=server)
+        assert result.kind == "interceptive"
+        assert result.overt is False
+        assert result.bare_rst_only
+
+    def test_airtel_classified_wiretap_with_ip_id(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "airtel")
+        result = classify_middlebox(world, "airtel", domain, attempts=10,
+                                    server_host=server)
+        assert result.censorship_observed
+        assert result.kind == "wiretap"
+        assert result.server_saw_request
+        assert result.fixed_ip_id == 242
+
+    def test_jio_classified_wiretap(self, small_world):
+        world = small_world
+        server, domain = controlled_pair(world, "jio")
+        result = classify_middlebox(world, "jio", domain, attempts=10,
+                                    server_host=server)
+        assert result.kind == "wiretap"
+        # Jio's boxes have no fixed IP-ID (section 6.3).
+        assert result.fixed_ip_id is None
+
+    def test_uncensored_path_yields_no_classification(self, small_world):
+        world = small_world
+        blocked_any = world.blocklists.all_blocked_domains()
+        clean = next(s.domain for s in world.corpus
+                     if s.domain not in blocked_any)
+        result = classify_middlebox(world, "idea", clean, attempts=2)
+        assert not result.censorship_observed
+        assert result.kind is None

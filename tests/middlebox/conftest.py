@@ -1,0 +1,63 @@
+"""Shared fixture: a small path with an attachable middlebox.
+
+    client -- r1 -- r2(middlebox here) -- r3 -- server
+
+The origin serves blocked.com and allowed.com; blocked.com is on the
+middlebox blocklist.
+"""
+
+import pytest
+
+from repro.httpsim import OriginServer, make_response
+from repro.middlebox import TriggerSpec
+from repro.netsim import Network
+
+BLOCKED = "blocked.com"
+ALLOWED = "allowed.com"
+BLOCKED_BODY = (
+    b"<html><head><title>Blocked Site Content</title></head>"
+    b"<body>the real forbidden content, quite long enough to differ "
+    b"substantially from any block page body text</body></html>"
+)
+ALLOWED_BODY = (
+    b"<html><head><title>Allowed Site</title></head>"
+    b"<body>innocuous content</body></html>"
+)
+
+
+class MiddleboxWorld:
+    def __init__(self):
+        self.net = Network()
+        self.client = self.net.add_host("client", "10.0.0.1")
+        self.server_host = self.net.add_host("web", "93.184.216.34")
+        self.r1 = self.net.add_router("r1", "10.1.0.1")
+        self.r2 = self.net.add_router("r2", "10.1.0.2")
+        self.r3 = self.net.add_router("r3", "10.1.0.3")
+        self.net.link("client", "r1")
+        self.net.link("r1", "r2")
+        self.net.link("r2", "r3")
+        self.net.link("r3", "web")
+        self.server = OriginServer()
+        self.server.add_domain(
+            BLOCKED, lambda req, ip: make_response(200, BLOCKED_BODY))
+        self.server.add_domain(
+            ALLOWED, lambda req, ip: make_response(200, ALLOWED_BODY))
+        self.server.install(self.server_host)
+
+    def attach_tap(self, middlebox):
+        self.r2.attach_tap(middlebox)
+        return middlebox
+
+    def attach_inline(self, middlebox):
+        self.r2.attach_inline(middlebox)
+        return middlebox
+
+
+@pytest.fixture
+def world():
+    return MiddleboxWorld()
+
+
+@pytest.fixture
+def spec():
+    return TriggerSpec(blocklist=frozenset({BLOCKED}))

@@ -1,0 +1,98 @@
+"""DNS injector: the mechanism India does NOT use, for contrast."""
+
+import pytest
+
+from repro.dnssim import (
+    GlobalDNS,
+    ResolverConfig,
+    ResolverService,
+    dns_lookup,
+)
+from repro.middlebox import DNSInjectorMiddlebox
+
+
+@pytest.fixture
+def injector_world():
+    from repro.netsim import Network
+
+    net = Network()
+    client = net.add_host("client", "10.0.0.1")
+    resolver_host = net.add_host("resolver", "10.5.0.53")
+    r1 = net.add_router("r1", "10.1.0.1")
+    r2 = net.add_router("r2", "10.1.0.2")
+    r3 = net.add_router("r3", "10.1.0.3")
+    net.link("client", "r1")
+    net.link("r1", "r2")
+    net.link("r2", "r3")
+    net.link("r3", "resolver")
+
+    global_dns = GlobalDNS()
+    global_dns.add_simple("blocked.example", ["203.0.112.9"])
+    global_dns.add_simple("good.example", ["93.184.216.34"])
+    ResolverService(global_dns, ResolverConfig()).install(resolver_host)
+
+    injector = DNSInjectorMiddlebox(
+        "inj", "gfw-style", frozenset({"blocked.example"}),
+        lambda domain: "127.0.0.2",
+    )
+    r2.attach_inline(injector)
+    return net, client, resolver_host, injector
+
+
+class TestInjection:
+    def test_blocked_query_gets_forged_answer(self, injector_world):
+        net, client, resolver_host, injector = injector_world
+        result = dns_lookup(net, client, resolver_host.ip, "blocked.example")
+        assert result.responded
+        assert result.ips == ["127.0.0.2"]
+        assert injector.injection_log
+
+    def test_unblocked_query_gets_honest_answer(self, injector_world):
+        net, client, resolver_host, _ = injector_world
+        result = dns_lookup(net, client, resolver_host.ip, "good.example")
+        assert result.ips == ["93.184.216.34"]
+
+    def test_injected_answer_arrives_at_middlebox_hop_ttl(self, injector_world):
+        """The tracer's signature of injection: an answer appears when
+        the TTL-limited query reaches the *middlebox* hop (2), well
+        before the resolver hop (4)."""
+        net, client, resolver_host, _ = injector_world
+        result = dns_lookup(net, client, resolver_host.ip,
+                            "blocked.example", ttl=2, timeout=1.0)
+        assert result.responded
+        assert result.ips == ["127.0.0.2"]
+
+    def test_no_answer_below_middlebox_hop(self, injector_world):
+        net, client, resolver_host, _ = injector_world
+        result = dns_lookup(net, client, resolver_host.ip,
+                            "blocked.example", ttl=1, timeout=1.0)
+        assert not result.responded
+
+    def test_www_alias_also_injected(self, injector_world):
+        net, client, resolver_host, _ = injector_world
+        result = dns_lookup(net, client, resolver_host.ip,
+                            "www.blocked.example")
+        assert result.ips == ["127.0.0.2"]
+
+    def test_swallowing_injector_consumes_query(self):
+        from repro.netsim import Network
+
+        net = Network()
+        client = net.add_host("client", "10.0.0.1")
+        resolver_host = net.add_host("resolver", "10.5.0.53")
+        r1 = net.add_router("r1", "10.1.0.1")
+        net.link("client", "r1")
+        net.link("r1", "resolver")
+        global_dns = GlobalDNS()
+        global_dns.add_simple("blocked.example", ["203.0.112.9"])
+        service = ResolverService(global_dns, ResolverConfig())
+        service.install(resolver_host)
+        injector = DNSInjectorMiddlebox(
+            "inj", "x", frozenset({"blocked.example"}),
+            lambda domain: "127.0.0.2", forward_query=False,
+        )
+        r1.attach_inline(injector)
+        result = dns_lookup(net, client, resolver_host.ip, "blocked.example")
+        assert result.ips == ["127.0.0.2"]
+        # The genuine resolver never saw the query.
+        assert not service.query_log

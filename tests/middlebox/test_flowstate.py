@@ -1,0 +1,137 @@
+"""Flow-table statefulness — the section 4.2.1 caveat experiments."""
+
+from repro.middlebox import ESTABLISHED, FlowTable, SYNACK_SEEN, SYN_SEEN
+from repro.netsim import TCPFlags, make_tcp_packet
+
+C, S = "10.0.0.1", "93.184.216.34"
+
+
+def syn(seq=100):
+    return make_tcp_packet(C, S, 4000, 80, seq=seq, flags=TCPFlags.SYN)
+
+
+def synack(seq=500, ack=101):
+    return make_tcp_packet(S, C, 80, 4000, seq=seq, ack=ack,
+                           flags=TCPFlags.SYN | TCPFlags.ACK)
+
+
+def client_ack(seq=101, ack=501):
+    return make_tcp_packet(C, S, 4000, 80, seq=seq, ack=ack,
+                           flags=TCPFlags.ACK)
+
+
+def client_get(seq=101, ack=501):
+    return make_tcp_packet(
+        C, S, 4000, 80, seq=seq, ack=ack,
+        flags=TCPFlags.ACK | TCPFlags.PSH,
+        payload=b"GET / HTTP/1.1\r\nHost: blocked.com\r\n\r\n",
+    )
+
+
+class TestHandshakeTracking:
+    def test_full_handshake_reaches_established(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        record = table.observe(client_ack(), 0.02)
+        assert record.state == ESTABLISHED
+        assert record.server_isn == 500
+
+    def test_established_without_seeing_synack(self):
+        """A tap missing the reverse direction still tracks correctly."""
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        record = table.observe(client_ack(), 0.02)
+        assert record.state == ESTABLISHED
+        assert record.server_isn is None
+
+    def test_get_after_full_handshake_is_on_established_flow(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        table.observe(client_ack(), 0.02)
+        record = table.established(client_get(), 0.03)
+        assert record is not None
+
+
+class TestStatefulnessProbes:
+    """The four probes of section 4.2.1 must all fail to create
+    inspectable state."""
+
+    def test_syn_only_then_get_not_established(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        assert table.established(client_get(), 0.01) is None
+
+    def test_synack_first_creates_no_flow(self):
+        table = FlowTable()
+        record = table.observe(synack(), 0.0)
+        assert record is None
+        assert table.established(client_get(), 0.01) is None
+
+    def test_missing_final_ack_not_established(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        # Client skips the bare ACK and sends the GET directly.
+        assert table.established(client_get(), 0.02) is None
+
+    def test_bare_get_with_no_handshake(self):
+        table = FlowTable()
+        assert table.established(client_get(), 0.0) is None
+
+
+class TestTimeout:
+    def test_idle_flow_purged_after_timeout(self):
+        table = FlowTable(timeout=150.0)
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        table.observe(client_ack(), 0.02)
+        assert table.established(client_get(), 151.0) is None
+
+    def test_fresh_packets_restart_the_timer(self):
+        """Section 6.3: any fresh packet on the flow restarts the clock."""
+        table = FlowTable(timeout=150.0)
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        table.observe(client_ack(), 0.02)
+        # Keep-alive-ish ACK at t=100 restarts the timer...
+        table.observe(client_ack(), 100.0)
+        # ...so at t=200 (100s idle) the flow is still inspected.
+        record = table.established(client_get(), 200.0)
+        assert record is not None
+
+    def test_purge_expired_counts(self):
+        table = FlowTable(timeout=10.0)
+        table.observe(syn(), 0.0)
+        assert table.purge_expired(100.0) == 1
+        assert len(table) == 0
+
+
+class TestFlowLifecycle:
+    def test_rst_removes_flow(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        table.observe(synack(), 0.01)
+        table.observe(client_ack(), 0.02)
+        rst = make_tcp_packet(C, S, 4000, 80, seq=101, flags=TCPFlags.RST)
+        table.observe(rst, 0.03)
+        assert len(table) == 0
+
+    def test_new_syn_resets_existing_flow(self):
+        table = FlowTable()
+        table.observe(syn(seq=100), 0.0)
+        record = table.observe(syn(seq=900), 1.0)
+        assert record.client_isn == 900
+        assert record.state == SYN_SEEN
+
+    def test_non_tcp_returns_none(self):
+        from repro.netsim import make_udp_packet
+        table = FlowTable()
+        assert table.observe(make_udp_packet(C, S, 1, 2, b"x"), 0.0) is None
+
+    def test_synack_state_label(self):
+        table = FlowTable()
+        table.observe(syn(), 0.0)
+        record = table.observe(synack(), 0.01)
+        assert record.state == SYNACK_SEEN

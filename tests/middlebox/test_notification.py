@@ -1,0 +1,68 @@
+"""Notification pages and ISP attribution (section 6.1)."""
+
+from repro.middlebox import (
+    NOTIFICATION_PROFILES,
+    identify_isp,
+    looks_like_block_page,
+    profile_for,
+)
+
+
+class TestProfiles:
+    def test_known_isps_registered(self):
+        assert set(NOTIFICATION_PROFILES) == {"airtel", "jio", "idea",
+                                              "tata"}
+
+    def test_airtel_iframe_fingerprint(self):
+        page = profile_for("airtel").page_html("blocked.com")
+        assert "iframe" in page
+        assert "www.airtel.in/dot" in page
+        assert "blocked.com" in page
+
+    def test_jio_redirect_fingerprint(self):
+        page = profile_for("jio").page_html("blocked.com")
+        assert "49.44.18.1" in page
+        assert "refresh" in page
+
+    def test_unknown_isp_gets_generic_profile(self):
+        profile = profile_for("newtelco")
+        page = profile.page_html("x.com")
+        assert "DOT-NOTICE-NEWTELCO" in page
+
+    def test_response_has_no_title(self):
+        """Section 6.2: notifications carry no <title> tag, which
+        disarms OONI's title comparison."""
+        for isp in NOTIFICATION_PROFILES:
+            response = profile_for(isp).response("x.com")
+            assert response.title() is None
+
+    def test_response_mimics_standard_header_names(self):
+        from repro.httpsim import STANDARD_SERVER_HEADERS
+        response = profile_for("idea").response("x.com")
+        names = {name for name, _ in STANDARD_SERVER_HEADERS}
+        assert names <= set(response.header_names())
+
+
+class TestAttribution:
+    def test_identify_each_isp(self):
+        for isp in NOTIFICATION_PROFILES:
+            body = profile_for(isp).response("site.com").body
+            assert identify_isp(body) == isp
+
+    def test_identify_generic(self):
+        body = profile_for("sify").response("site.com").body
+        assert identify_isp(body) == "sify"
+
+    def test_identify_non_block_page(self):
+        assert identify_isp(b"<html><body>welcome</body></html>") is None
+
+    def test_looks_like_block_page(self):
+        for isp in NOTIFICATION_PROFILES:
+            body = profile_for(isp).response("x.com").body
+            assert looks_like_block_page(body)
+
+    def test_real_pages_not_block_pages(self):
+        from repro.websites import build_corpus, static_body
+        for site in build_corpus(size=40)[:20]:
+            assert not looks_like_block_page(
+                static_body(site).encode("latin-1"))

@@ -1,0 +1,134 @@
+"""Trigger-spec matching discipline (sections 3.4-IV and 5)."""
+
+import pytest
+
+from repro.httpsim import GetRequestSpec
+from repro.middlebox import TriggerSpec
+
+BLOCKED = "blocked.com"
+
+
+def spec(**kwargs):
+    return TriggerSpec(blocklist=frozenset({BLOCKED}), **kwargs)
+
+
+def raw(domain=BLOCKED, **kwargs):
+    return GetRequestSpec(domain=domain, **kwargs).to_bytes()
+
+
+class TestCanonicalMatching:
+    def test_stock_browser_request_triggers(self):
+        assert spec().matched_domain(raw()) == BLOCKED
+
+    def test_unblocked_domain_does_not_trigger(self):
+        assert spec().matched_domain(raw("other.com")) is None
+
+    def test_domain_case_is_insensitive(self):
+        payload = raw().replace(b"blocked.com", b"BLOCKED.com")
+        assert spec().matched_domain(payload) == BLOCKED
+
+    def test_empty_payload(self):
+        assert spec().matched_domain(b"") is None
+
+    def test_port_scoping(self):
+        s = spec()
+        assert s.inspects_port(80)
+        assert not s.inspects_port(443)
+        assert not s.inspects_port(8080)
+
+
+class TestOffsetFudging:
+    """Section 3.4-IV: only the Host field triggers, never the domain at
+    other offsets in the request."""
+
+    def test_domain_in_path_does_not_trigger(self):
+        payload = raw("innocent.com", path=f"/{BLOCKED}/index.html")
+        assert spec().matched_domain(payload) is None
+
+    def test_domain_in_other_header_does_not_trigger(self):
+        payload = GetRequestSpec(
+            domain="innocent.com",
+            headers=(("Referer", f"http://{BLOCKED}/page"),),
+        ).to_bytes()
+        assert spec().matched_domain(payload) is None
+
+    def test_domain_in_host_field_triggers_even_with_odd_path(self):
+        payload = raw(BLOCKED, path="/innocent.com")
+        assert spec().matched_domain(payload) == BLOCKED
+
+
+class TestKeywordCase:
+    def test_exact_case_box_missed_by_case_fudging(self):
+        for keyword in ("HOst", "HoST", "HoSt", "HOST", "host"):
+            payload = raw(host_keyword=keyword)
+            assert spec(exact_keyword_case=True).matched_domain(payload) is None
+
+    def test_case_insensitive_box_catches_case_fudging(self):
+        for keyword in ("HOst", "HOST", "host"):
+            payload = raw(host_keyword=keyword)
+            assert (spec(exact_keyword_case=False).matched_domain(payload)
+                    == BLOCKED)
+
+
+class TestWhitespaceStrictness:
+    def test_strict_box_missed_by_extra_pre_space(self):
+        payload = raw(host_pre_space="  ")
+        assert spec(strict_value_whitespace=True).matched_domain(payload) is None
+
+    def test_strict_box_missed_by_tab(self):
+        payload = raw(host_pre_space="\t")
+        assert spec(strict_value_whitespace=True).matched_domain(payload) is None
+
+    def test_strict_box_missed_by_trailing_space(self):
+        payload = raw(host_post_space=" ")
+        assert spec(strict_value_whitespace=True).matched_domain(payload) is None
+
+    def test_tolerant_box_catches_whitespace_fudging(self):
+        tolerant = spec(strict_value_whitespace=False)
+        assert tolerant.matched_domain(raw(host_pre_space="   ")) == BLOCKED
+        assert tolerant.matched_domain(raw(host_pre_space="\t")) == BLOCKED
+        assert tolerant.matched_domain(raw(host_post_space="  ")) == BLOCKED
+
+
+class TestLastHostOnly:
+    def test_trailing_allowed_host_evades_last_only_box(self):
+        payload = raw(trailing_raw=b"Host: allowed.com\r\n\r\n")
+        assert spec(inspect_last_host_only=True).matched_domain(payload) is None
+
+    def test_trailing_allowed_host_does_not_evade_any_host_box(self):
+        payload = raw(trailing_raw=b"Host: allowed.com\r\n\r\n")
+        assert spec(inspect_last_host_only=False).matched_domain(payload) == BLOCKED
+
+    def test_last_only_box_triggers_when_last_is_blocked(self):
+        payload = GetRequestSpec(
+            domain="allowed.com",
+            trailing_raw=f"Host: {BLOCKED}\r\n\r\n".encode(),
+        ).to_bytes()
+        assert spec(inspect_last_host_only=True).matched_domain(payload) == BLOCKED
+
+
+class TestWwwAlias:
+    def test_exact_box_missed_by_www_prefix(self):
+        payload = raw(f"www.{BLOCKED}")
+        assert spec(match_www_alias=False).matched_domain(payload) is None
+
+    def test_alias_box_catches_www_prefix(self):
+        payload = raw(f"www.{BLOCKED}")
+        assert spec(match_www_alias=True).matched_domain(payload) == BLOCKED
+
+
+class TestExtraction:
+    def test_extracts_all_host_values_in_order(self):
+        payload = (b"GET / HTTP/1.1\r\nHost: a.com\r\nX: y\r\n\r\n"
+                   b"Host: b.com\r\n\r\n")
+        values = spec().extract_host_values(payload)
+        assert values == ["a.com", "b.com"]
+
+    def test_line_without_colon_ignored(self):
+        assert spec().extract_host_values(b"Host blocked.com\r\n") == []
+
+    def test_spec_is_hashable_and_frozen(self):
+        s = spec()
+        with pytest.raises(Exception):
+            s.exact_keyword_case = False
+        assert hash(s) == hash(spec())

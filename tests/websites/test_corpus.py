@@ -1,0 +1,135 @@
+"""Corpus generation: determinism, composition, blocklists."""
+
+from repro.websites import (
+    CATEGORIES,
+    Corpus,
+    HTTP_BLOCKLIST_SIZES,
+    DNS_BLOCKLIST_SIZES,
+    build_blocklists,
+    build_corpus,
+    overlap_fraction,
+    static_body,
+    dynamic_chunk,
+)
+
+
+class TestCorpusGeneration:
+    def test_default_size(self):
+        assert len(build_corpus()) == 1200
+
+    def test_deterministic(self):
+        a = build_corpus(seed=1808)
+        b = build_corpus(seed=1808)
+        assert [s.domain for s in a] == [s.domain for s in b]
+        assert [s.hosting for s in a] == [s.hosting for s in b]
+
+    def test_different_seed_differs(self):
+        a = build_corpus(seed=1808)
+        b = build_corpus(seed=42)
+        assert [s.domain for s in a] != [s.domain for s in b]
+
+    def test_domains_unique(self):
+        sites = build_corpus()
+        domains = [s.domain for s in sites]
+        assert len(domains) == len(set(domains))
+
+    def test_all_seven_categories_present(self):
+        sites = build_corpus()
+        seen = {s.category for s in sites}
+        assert seen == set(CATEGORIES)
+
+    def test_porn_is_largest_category(self):
+        corpus = Corpus.build()
+        counts = {c: len(corpus.in_category(c)) for c in CATEGORIES}
+        assert max(counts, key=counts.get) == "porn"
+
+    def test_hosting_mix_within_reason(self):
+        sites = build_corpus()
+        dead = sum(1 for s in sites if s.hosting == "dead")
+        cdn = sum(1 for s in sites if s.hosting == "cdn")
+        assert 40 <= dead <= 160
+        assert 80 <= cdn <= 220
+
+    def test_some_dynamic_sites(self):
+        sites = build_corpus()
+        dynamic = sum(1 for s in sites if s.dynamic)
+        assert 60 <= dynamic <= 200
+
+    def test_small_pages_are_small(self):
+        for site in build_corpus():
+            if site.page_style in ("redirect", "login"):
+                assert site.body_size < 400
+
+    def test_corpus_lookup(self):
+        corpus = Corpus.build()
+        first = corpus.sites[0]
+        assert corpus.get(first.domain) is first
+        assert corpus.get("definitely-not-there.example") is None
+
+
+class TestContent:
+    def test_static_body_is_stable(self):
+        site = build_corpus()[0]
+        assert static_body(site) == static_body(site)
+
+    def test_static_body_has_title(self):
+        site = build_corpus()[0]
+        assert f"<title>{site.title}</title>" in static_body(site)
+
+    def test_titles_have_five_char_word(self):
+        """OONI only compares titles when a >=5-char word exists."""
+        for site in build_corpus()[:50]:
+            assert any(len(w) >= 5 for w in site.title.split())
+
+    def test_dynamic_chunk_varies_by_nonce_and_region(self):
+        site = next(s for s in build_corpus() if s.dynamic)
+        a = dynamic_chunk(site, "in", 1)
+        b = dynamic_chunk(site, "in", 2)
+        c = dynamic_chunk(site, "us", 1)
+        assert a != b
+        assert a != c
+
+
+class TestBlocklists:
+    def test_sizes_match_table2(self):
+        plan = build_blocklists(Corpus.build())
+        for isp, size in HTTP_BLOCKLIST_SIZES.items():
+            assert len(plan.http[isp]) == size
+        for isp, size in DNS_BLOCKLIST_SIZES.items():
+            assert len(plan.dns[isp]) == size
+
+    def test_blocklists_are_corpus_subsets(self):
+        corpus = Corpus.build()
+        domains = set(corpus.domains())
+        plan = build_blocklists(corpus)
+        for blocked in list(plan.http.values()) + list(plan.dns.values()):
+            assert blocked <= domains
+
+    def test_blocklists_overlap_but_differ(self):
+        """The paper's headline: censorship is not uniform across ISPs."""
+        plan = build_blocklists(Corpus.build())
+        airtel, idea = plan.http["airtel"], plan.http["idea"]
+        jaccard = overlap_fraction(airtel, idea)
+        assert 0.1 < jaccard < 0.9
+        assert airtel != idea
+
+    def test_deterministic(self):
+        corpus = Corpus.build()
+        assert build_blocklists(corpus).http == build_blocklists(corpus).http
+
+    def test_stale_entries_exist(self):
+        """Dead sites appear in blocklists (section 6.3)."""
+        corpus = Corpus.build()
+        plan = build_blocklists(corpus)
+        dead_domains = {s.domain for s in corpus if s.is_dead}
+        assert plan.http["airtel"] & dead_domains
+
+    def test_porn_mostly_blocked_everywhere(self):
+        corpus = Corpus.build()
+        plan = build_blocklists(corpus)
+        porn = {s.domain for s in corpus.in_category("porn")}
+        vodafone_porn = len(plan.http["vodafone"] & porn)
+        vodafone_social = len(
+            plan.http["vodafone"]
+            & {s.domain for s in corpus.in_category("social")})
+        assert vodafone_porn > 3 * max(vodafone_social, 1)

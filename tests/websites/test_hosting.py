@@ -1,0 +1,113 @@
+"""Hosting deployment invariants."""
+
+import pytest
+
+from repro.httpsim import fetch_url
+from repro.websites import PARKING_PROVIDERS
+
+
+class TestDeploymentStructure:
+    def test_every_site_has_dns_and_address(self, small_world):
+        world = small_world
+        for site in world.corpus:
+            assert site.domain in world.global_dns
+            assert world.hosting.ip_for(site.domain, "in") is not None
+
+    def test_cdn_sites_resolve_regionally(self, small_world):
+        world = small_world
+        cdn_sites = [s for s in world.corpus if s.hosting == "cdn"]
+        assert cdn_sites
+        for site in cdn_sites[:5]:
+            in_ip = world.hosting.ip_for(site.domain, "in")
+            us_ip = world.hosting.ip_for(site.domain, "us")
+            assert in_ip != us_ip
+
+    def test_non_cdn_sites_resolve_identically_everywhere(self, small_world):
+        world = small_world
+        normal = [s for s in world.corpus if s.hosting == "normal"]
+        for site in normal[:5]:
+            ips = {world.hosting.ip_for(site.domain, region)
+                   for region in ("in", "us", "eu", "apac")}
+            assert len(ips) == 1
+
+    def test_shared_sites_share_addresses(self, small_world):
+        world = small_world
+        shared = [s for s in world.corpus if s.hosting == "shared"]
+        if len(shared) < 2:
+            pytest.skip("too few shared sites in small corpus")
+        by_ip = {}
+        for site in shared:
+            ip = world.hosting.ip_for(site.domain, "in")
+            by_ip.setdefault(ip, []).append(site.domain)
+        assert any(len(domains) > 1 for domains in by_ip.values())
+
+    def test_dead_sites_live_on_parking_hosts(self, small_world):
+        world = small_world
+        parking_ips = {host.ip
+                       for host in world.hosting.parking_hosts.values()}
+        dead = [s for s in world.corpus if s.is_dead]
+        assert dead
+        for site in dead:
+            assert world.hosting.ip_for(site.domain, "in") in parking_ips
+
+    def test_parking_providers_exist(self, small_world):
+        assert set(small_world.hosting.parking_hosts) == \
+            set(PARKING_PROVIDERS)
+
+    def test_authoritative_ips_cover_regions(self, small_world):
+        world = small_world
+        cdn = next(s for s in world.corpus if s.hosting == "cdn")
+        all_ips = world.hosting.authoritative_ips(cdn.domain)
+        assert len(all_ips) >= 4
+
+
+class TestServingBehaviour:
+    def test_dead_site_serves_region_variant_pages(self, small_world):
+        """Indian and foreign clients see different parking pages —
+        the GoDaddy false-positive generator."""
+        world = small_world
+        dead = next(s for s in world.corpus if s.is_dead)
+        ip = world.hosting.ip_for(dead.domain, "in")
+        indian = fetch_url(world.network, world.client_of("nkn"), ip,
+                           dead.domain)
+        foreign = fetch_url(world.network, world.tor_exit, ip, dead.domain)
+        assert indian.ok and foreign.ok
+        assert indian.first_response.body != foreign.first_response.body
+
+    def test_static_site_serves_identical_pages(self, small_world):
+        world = small_world
+        blocked = world.blocklists.all_blocked_domains()
+        site = next(s for s in world.corpus
+                    if s.hosting == "normal" and not s.dynamic
+                    and not s.https and s.domain not in blocked)
+        ip = world.hosting.ip_for(site.domain, "in")
+        first = fetch_url(world.network, world.client_of("nkn"), ip,
+                          site.domain)
+        second = fetch_url(world.network, world.tor_exit, ip, site.domain)
+        assert first.first_response.body == second.first_response.body
+
+    def test_dynamic_site_varies_between_fetches(self, small_world):
+        world = small_world
+        blocked = world.blocklists.all_blocked_domains()
+        site = next((s for s in world.corpus
+                     if s.dynamic and s.domain not in blocked), None)
+        if site is None:
+            pytest.skip("no clean dynamic site in small corpus")
+        ip = world.hosting.ip_for(site.domain, "in")
+        client = world.client_of("nkn")
+        first = fetch_url(world.network, client, ip, site.domain)
+        second = fetch_url(world.network, client, ip, site.domain)
+        assert first.first_response.body != second.first_response.body
+
+    def test_alexa_destinations_serve(self, small_world):
+        world = small_world
+        client = world.client_of("sify")
+        for alexa_site in world.alexa[:3]:
+            result = fetch_url(world.network, client, alexa_site.ip,
+                               alexa_site.domain)
+            assert result.ok
+            assert result.first_response.status == 200
+
+    def test_alexa_ips_unique(self, small_world):
+        ips = [site.ip for site in small_world.alexa]
+        assert len(ips) == len(set(ips))
