@@ -9,16 +9,23 @@
     python -m repro trace idea <domain>      # iterative network trace
 
 All commands accept ``--scale`` (world size; 1.0 = paper scale) and
-``--seed``.  Experiments additionally honour ``REPRO_BENCH_FRACTION``.
+``--seed``.  Fault injection is available everywhere: ``--loss 0.05``
+drops 5% of packets on every link, ``--fault-seed`` picks the
+deterministic fault schedule, ``--retries`` overrides how often the
+hardened clients retry, and ``--verbose`` prints drop/fault statistics
+after the command.  Experiments additionally honour
+``REPRO_BENCH_FRACTION``.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from typing import Optional
 
 from .isps import PROFILES, build_world
+from .netsim.faults import DEFAULT_HARDENING, FaultPlan
 
 #: CLI experiment name -> experiments module attribute.
 EXPERIMENTS = {
@@ -43,6 +50,17 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--scale", type=float, default=0.25,
                         help="world scale (1.0 = full paper scale)")
     common.add_argument("--seed", type=int, default=1808)
+    common.add_argument("--loss", type=float, default=0.0,
+                        help="per-link packet loss probability "
+                             "(enables fault injection)")
+    common.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for the deterministic fault schedule")
+    common.add_argument("--retries", type=int, default=None,
+                        help="override DNS/HTTP client attempts under "
+                             "faults (default: hardening policy)")
+    common.add_argument("--verbose", action="store_true",
+                        help="print drop and fault-injector statistics "
+                             "after the command")
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -81,15 +99,50 @@ def main(argv: Optional[list] = None) -> int:
     if args.command == "experiment":
         return _cmd_experiment(args)
     world = build_world(seed=args.seed, scale=args.scale)
+    _install_faults(world, args)
     if args.command == "info":
-        return _cmd_info(world)
-    if args.command == "fetch":
-        return _cmd_fetch(world, args.isp, args.domain)
-    if args.command == "evade":
-        return _cmd_evade(world, args.isp, args.domain)
-    if args.command == "trace":
-        return _cmd_trace(world, args.isp, args.domain)
-    return 2  # pragma: no cover - argparse enforces choices
+        status = _cmd_info(world)
+    elif args.command == "fetch":
+        status = _cmd_fetch(world, args.isp, args.domain)
+    elif args.command == "evade":
+        status = _cmd_evade(world, args.isp, args.domain)
+    elif args.command == "trace":
+        status = _cmd_trace(world, args.isp, args.domain)
+    else:  # pragma: no cover - argparse enforces choices
+        return 2
+    if args.verbose:
+        _print_fault_stats(world)
+    return status
+
+
+def _install_faults(world, args) -> None:
+    """Activate the ``--loss``/``--fault-seed``/``--retries`` flags."""
+    if not args.loss:
+        return
+    try:
+        plan = FaultPlan.uniform_loss(args.loss, seed=args.fault_seed)
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    hardening = DEFAULT_HARDENING
+    if args.retries is not None:
+        hardening = dataclasses.replace(
+            hardening,
+            dns_attempts=max(1, args.retries),
+            fetch_attempts=max(1, args.retries),
+        )
+    world.install_faults(plan, hardening)
+
+
+def _print_fault_stats(world) -> None:
+    network = world.network
+    drops = network.drop_stats()
+    print("drop stats:" if drops else "drop stats: (none)")
+    for reason, count in sorted(drops.items()):
+        print(f"  {reason}: {count}")
+    if network.faults is not None:
+        print("fault injector:")
+        for line in network.faults.stats_lines():
+            print(f"  {line}")
 
 
 def _cmd_info(world) -> int:
@@ -114,8 +167,11 @@ def _cmd_experiment(args) -> int:
 
     module = getattr(experiments, EXPERIMENTS[args.name])
     world = experiments.get_world(seed=args.seed, scale=args.scale)
+    _install_faults(world, args)
     result = module.run(world)
     print(result.render())
+    if args.verbose:
+        _print_fault_stats(world)
     return 0
 
 

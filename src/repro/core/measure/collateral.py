@@ -17,6 +17,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Set
 
 from ...middlebox.notification import identify_isp, looks_like_block_page
+from ...netsim.errors import NetSimError
 from ..vantage import VantagePoint
 from .fastprobe import canonical_payload, express_http_probe
 
@@ -117,7 +118,7 @@ def _attribute_by_path(world, vantage, dst_ip) -> Optional[str]:
     """Which censoring neighbour's address space does the path enter?"""
     try:
         path = world.network.path_to(vantage.host, dst_ip)
-    except Exception:
+    except NetSimError:
         return None
     stub = world.isp_owning(vantage.host.ip)
     for node in path[1:-1]:

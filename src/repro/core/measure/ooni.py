@@ -24,7 +24,7 @@ can be regenerated; it is deliberately not a good censorship detector.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from ...httpsim.client import FetchResult
 from ...httpsim.diff import (
@@ -35,6 +35,7 @@ from ...httpsim.diff import (
     titles_match,
 )
 from ...httpsim.message import GetRequestSpec, HTTPResponse
+from ...netsim.errors import NetSimError
 from ..vantage import VantagePoint
 
 BLOCKING_NONE = "none"
@@ -56,10 +57,20 @@ class OONISiteResult:
     headers_match: Optional[bool] = None
     title_match: Optional[bool] = None
     notes: str = ""
+    #: Extra attempts the hardened clients spent (0 on a clean network).
+    retries_used: int = 0
+    #: Set when the whole measurement failed with a simulator error —
+    #: the site entry stays in the run as a recorded partial instead of
+    #: aborting the campaign.
+    error: Optional[str] = None
 
     @property
     def anomalous(self) -> bool:
         return self.blocking != BLOCKING_NONE
+
+    @property
+    def degraded(self) -> bool:
+        return self.error is not None or self.retries_used > 0
 
 
 @dataclass
@@ -84,6 +95,16 @@ class OONIRun:
             tally[result.blocking] += 1
         return tally
 
+    def degraded(self) -> Dict[str, int]:
+        """Fault-layer accounting: retries spent and sites errored."""
+        return {
+            "sites_retried": sum(
+                1 for r in self.results.values() if r.retries_used > 0),
+            "retries": sum(r.retries_used for r in self.results.values()),
+            "errors": sum(
+                1 for r in self.results.values() if r.error is not None),
+        }
+
 
 def web_connectivity(
     world,
@@ -96,14 +117,27 @@ def web_connectivity(
     if control is None:
         control = _control_vantage(world)
     result = OONISiteResult(domain=domain)
+    trials = world.network.hardening.ooni_confirm_trials
 
     control_lookup = control.resolve(domain)
+    result.retries_used += control_lookup.attempts - 1
+    if not control_lookup.responded and trials > 1:
+        # Silence from the (uncensored) control resolver is pure loss;
+        # spend one more round before declaring the site unmeasurable.
+        control_lookup = control.resolve(domain)
+        result.retries_used += control_lookup.attempts
     result.control_ips = list(control_lookup.ips)
     if not control_lookup.ok:
         result.notes = "control resolution failed"
         return result
 
     experiment_lookup = vantage.resolve(domain)
+    result.retries_used += experiment_lookup.attempts - 1
+    if not experiment_lookup.responded and trials > 1:
+        # Only *silence* earns another round — an answer, even a
+        # poisoned one, is a censorship signal the retry must not mask.
+        experiment_lookup = vantage.resolve(domain)
+        result.retries_used += experiment_lookup.attempts
     result.experiment_ips = list(experiment_lookup.ips)
     if not experiment_lookup.ok:
         result.dns_consistent = False
@@ -119,25 +153,59 @@ def web_connectivity(
 
     spec = GetRequestSpec(domain=domain)
     control_fetch = control.fetch_ip(result.control_ips[0], spec.to_bytes())
-    experiment_fetch = vantage.fetch_ip(result.experiment_ips[0],
-                                        spec.to_bytes())
+    result.retries_used += control_fetch.attempts - 1
+    if control_fetch.first_response is None and trials > 1:
+        # No censor sits between the control vantage and the site, so a
+        # failed control fetch is pure infrastructure noise — worth one
+        # more flow before giving the site up as unmeasurable.
+        control_fetch = control.fetch_ip(result.control_ips[0],
+                                         spec.to_bytes())
+        result.retries_used += control_fetch.attempts
 
     if control_fetch.first_response is None:
         result.notes = "control fetch failed"
         return result
 
-    if not experiment_fetch.connected:
-        result.blocking = BLOCKING_TCP
-        result.notes = "experiment connect failed"
-        return result
-    if experiment_fetch.first_response is None:
-        result.blocking = BLOCKING_HTTP
-        result.notes = ("experiment reset" if experiment_fetch.got_rst
-                        else "experiment empty")
-        return result
+    # On a lossy network a single experiment flow misleads both ways: a
+    # flow can slip past a stateful censor (a lost handshake ACK
+    # desynchronises its flow table), and loss-induced teardowns mimic
+    # censor resets.  The hardened policy therefore keeps opening fresh
+    # flows until two observations agree.  A content comparison that
+    # *fails* the consistency checks is definitive on its own — loss
+    # cannot forge a block page.  NO_HARDENING keeps the single-shot
+    # 2018 behaviour: one flow, first answer taken at face value.
+    observations: List[Optional[Tuple[str, str]]] = []
+    max_flows = trials if trials == 1 else trials + 1
+    for flow in range(1, max_flows + 1):
+        experiment_fetch = vantage.fetch_ip(result.experiment_ips[0],
+                                            spec.to_bytes())
+        result.retries_used += experiment_fetch.attempts - 1
+        if flow > 1:
+            result.retries_used += 1  # the confirmation flow itself
 
-    _compare_http(result, control_fetch.first_response,
-                  experiment_fetch.first_response)
+        if not experiment_fetch.connected:
+            observation = (BLOCKING_TCP, "experiment connect failed")
+        elif experiment_fetch.first_response is None:
+            observation = (BLOCKING_HTTP,
+                           "experiment reset" if experiment_fetch.got_rst
+                           else "experiment empty")
+        else:
+            _compare_http(result, control_fetch.first_response,
+                          experiment_fetch.first_response)
+            if result.anomalous:
+                return result
+            observation = None  # consistent with control
+
+        observations.append(observation)
+        soft_anomalies = [o for o in observations if o is not None]
+        clean_flows = len(observations) - len(soft_anomalies)
+        if trials == 1 or clean_flows >= 2 or len(soft_anomalies) >= 2:
+            break
+
+    soft_anomalies = [o for o in observations if o is not None]
+    clean_flows = len(observations) - len(soft_anomalies)
+    if soft_anomalies and len(soft_anomalies) >= clean_flows:
+        result.blocking, result.notes = soft_anomalies[0]
     return result
 
 
@@ -174,8 +242,16 @@ def run_ooni(
         domains = world.corpus.domains()
     run = OONIRun(vantage=vantage.label)
     for domain in domains:
-        run.results[domain] = web_connectivity(
-            world, vantage, domain, control=control)
+        try:
+            run.results[domain] = web_connectivity(
+                world, vantage, domain, control=control)
+        except NetSimError as exc:
+            # A broken path or dead vantage degrades to a recorded
+            # partial entry instead of aborting the whole campaign.
+            partial = OONISiteResult(domain=domain)
+            partial.error = f"{type(exc).__name__}: {exc}"
+            partial.notes = "measurement error"
+            run.results[domain] = partial
     return run
 
 

@@ -93,12 +93,16 @@ class _SilentApp(TCPApp):
     def __init__(self) -> None:
         self.data = b""
         self.connected = False
+        self.reset = False
 
     def on_connected(self, conn) -> None:
         self.connected = True
 
     def on_data(self, conn, data: bytes) -> None:
         self.data += data
+
+    def on_rst(self, conn) -> None:
+        self.reset = True
 
 
 class CraftedFlow:
@@ -114,18 +118,36 @@ class CraftedFlow:
         self.app = _SilentApp()
         self.conn = None
         self._observer: Optional[_Observer] = None
+        #: Handshake attempts made by the last :meth:`open` call.
+        self.open_attempts = 0
 
     # -- lifecycle -----------------------------------------------------------
 
-    def open(self, timeout: float = 4.0) -> bool:
-        """Complete a normal full-TTL 3-way handshake."""
-        self.conn = self.client.stack.connect(
-            self.dst_ip, self.dst_port, self.app)
-        deadline = self.network.now + timeout
-        while not self.app.connected and self.network.now < deadline:
-            if self.network.pending_events == 0:
+    def open(self, timeout: float = 4.0,
+             attempts: Optional[int] = None) -> bool:
+        """Complete a normal full-TTL 3-way handshake.
+
+        A handshake that dies silently (no SYN|ACK, no RST) is retried —
+        on a lossy substrate a single failed connect says nothing about
+        censorship.  A RST ends the attempt immediately: that *is* a
+        signal.  ``attempts=None`` defers to the hardening policy.
+        """
+        total = (self.network.hardening.fetch_attempts
+                 if attempts is None else max(1, attempts))
+        for attempt in range(1, total + 1):
+            self.app = _SilentApp()
+            self.conn = self.client.stack.connect(
+                self.dst_ip, self.dst_port, self.app)
+            deadline = self.network.now + timeout
+            while not self.app.connected and self.network.now < deadline:
+                if self.network.pending_events == 0:
+                    break
+                self.network.run(until=min(deadline, self.network.now + 0.25))
+            self.open_attempts = attempt
+            if self.app.connected or self.app.reset:
                 break
-            self.network.run(until=min(deadline, self.network.now + 0.25))
+            if self.conn.state != "CLOSED":
+                self.conn.abort()
         self._observer = _Observer(self.dst_ip, self.conn.local_port)
         return self.app.connected
 

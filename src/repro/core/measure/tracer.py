@@ -28,7 +28,7 @@ class HTTPTraceResult:
     """Outcome of one HTTP iterative trace."""
 
     dst_ip: str
-    traceroute: TracerouteResult = None
+    traceroute: Optional[TracerouteResult] = None
     #: TTL at which the censorship response first appeared (None: never).
     censor_hop: Optional[int] = None
     #: Router address traceroute reports at that hop (None: anonymized).
@@ -61,8 +61,14 @@ def http_iterative_trace(
     first trigger), opened with a full-TTL handshake, then probed with
     a TTL-limited crafted GET.  The paper sends "a series" of crafted
     requests per TTL; retries defeat the wiretap boxes' lost races.
+    On a faulty network ``attempts_per_ttl`` is scaled up by the
+    hardening policy's ``trace_attempt_scale`` so that "lossy silence"
+    needs proportionally more evidence before it is read as the
+    "censored silence" of a blackholing middlebox.
     """
     network = world.network
+    attempts_per_ttl = max(
+        1, attempts_per_ttl * network.hardening.trace_attempt_scale)
     result = HTTPTraceResult(dst_ip=dst_ip)
     result.traceroute = traceroute(network, client, dst_ip)
     if max_ttl is None:

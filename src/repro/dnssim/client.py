@@ -23,8 +23,42 @@ def dns_lookup(
     *,
     timeout: float = DEFAULT_DNS_TIMEOUT,
     ttl: int = 64,
+    attempts: Optional[int] = None,
 ) -> DNSLookupResult:
-    """Resolve *qname* via *resolver_ip*; run the network until answered.
+    """Resolve *qname* via *resolver_ip*, retrying silent timeouts.
+
+    One UDP query per attempt, each with a fresh qid and source port, an
+    exponential-backoff pause between attempts.  Only *silence* is
+    retried — any response, including NXDOMAIN or an injected poisoned
+    answer, ends the lookup, so censorship signals are never masked by
+    the retry loop.  ``attempts=None`` defers to the network's
+    :class:`~repro.netsim.faults.HardeningPolicy` (a single attempt on a
+    fault-free network, preserving seed behaviour).
+    """
+    policy = network.hardening
+    total = policy.dns_attempts if attempts is None else max(1, attempts)
+    result = DNSLookupResult(qname=qname, resolver_ip=resolver_ip)
+    for attempt in range(1, total + 1):
+        result = _lookup_once(network, client, resolver_ip, qname,
+                              timeout=timeout, ttl=ttl)
+        result.attempts = attempt
+        if result.responded:
+            break
+        if attempt < total:
+            network.run(until=network.now + policy.dns_backoff(attempt))
+    return result
+
+
+def _lookup_once(
+    network: Network,
+    client: Host,
+    resolver_ip: str,
+    qname: str,
+    *,
+    timeout: float,
+    ttl: int,
+) -> DNSLookupResult:
+    """Send one query and run the network until answered or timed out.
 
     The query can be TTL-limited (the DNS variant of Iterative Network
     Tracing sends the same query with increasing TTL to learn *which

@@ -49,7 +49,7 @@ class DNSResponse:
 
 @dataclass
 class DNSLookupResult:
-    """Client-side outcome of one lookup attempt."""
+    """Client-side outcome of one lookup (possibly after retries)."""
 
     qname: str
     resolver_ip: str
@@ -58,7 +58,18 @@ class DNSLookupResult:
     responded: bool = False
     responder_ip: Optional[str] = None
     rtt: float = 0.0
+    #: Total queries sent, including the first (so 1 == no retries).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
         return self.responded and self.rcode == "NOERROR" and bool(self.ips)
+
+    @property
+    def outcome(self) -> str:
+        """Coarse taxonomy: ``ok`` / rcode (e.g. ``NXDOMAIN``) / ``timeout``."""
+        if not self.responded:
+            return "timeout"
+        if self.ok:
+            return "ok"
+        return self.rcode or "empty"

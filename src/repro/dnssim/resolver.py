@@ -49,6 +49,9 @@ class ResolverService:
         self.global_dns = global_dns
         self.config = config
         self.query_log: list = []
+        #: Fault-layer accounting (queries eaten / answers delayed).
+        self.dropped_queries = 0
+        self.slow_answers = 0
 
     def install(self, host: Host) -> None:
         host.bind_udp(DNS_PORT, self.handle)
@@ -62,11 +65,23 @@ class ResolverService:
             allowed = self.config.client_filter
             if allowed is None or not allowed(packet.src):
                 return
+        network = host.network
+        delay = 0.0
+        if network is not None and network.faults is not None:
+            action, delay = network.faults.resolver_action(host.ip)
+            if action == "drop":
+                self.dropped_queries += 1
+                return
+            if action == "slow":
+                self.slow_answers += 1
         response = self.answer(query, host.ip)
         reply = make_udp_packet(
             host.ip, packet.src, DNS_PORT, packet.udp.src_port, response,
         )
-        host.send_packet(reply)
+        if delay > 0.0 and network is not None:
+            network.call_later(delay, host.send_packet, reply)
+        else:
+            host.send_packet(reply)
 
     def answer(self, query: DNSQuery, own_ip: str) -> DNSResponse:
         """Produce the (possibly poisoned) answer for *query*."""

@@ -9,7 +9,17 @@ published values for side-by-side comparison.
 from __future__ import annotations
 
 import os
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass, field
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from ..core.measure.fastprobe import (
     canonical_payload,
@@ -18,6 +28,7 @@ from ..core.measure.fastprobe import (
 )
 from ..isps.world import World, build_world
 from ..netsim.addressing import is_bogon
+from ..netsim.errors import NetSimError
 
 _WORLD_CACHE: Dict[Tuple[int, float], World] = {}
 
@@ -56,6 +67,64 @@ def domain_sample(world: World, fraction: Optional[float] = None
         return domains
     step = max(1, round(1.0 / fraction))
     return domains[::step]
+
+
+# ---------------------------------------------------------------------------
+# Graceful degradation
+# ---------------------------------------------------------------------------
+
+#: Errors an experiment survives by recording a partial entry.  Only
+#: simulator failures qualify — programming errors must still crash.
+DEGRADABLE_ERRORS = (NetSimError,)
+
+
+@dataclass
+class Degradation:
+    """Per-experiment record of faults survived instead of crashed on.
+
+    Experiments attach one of these to their result object; a clean run
+    leaves it empty, so rendering and comparisons are unchanged unless
+    something actually went wrong.
+    """
+
+    #: ``(unit, reason)`` for every measurement unit that errored out.
+    errors: List[Tuple[str, str]] = field(default_factory=list)
+    #: Total client retries spent across the experiment.
+    retries: int = 0
+
+    @property
+    def partial(self) -> bool:
+        """Did any unit fail outright (beyond mere retries)?"""
+        return bool(self.errors)
+
+    def record_error(self, unit: str, reason: str) -> None:
+        self.errors.append((unit, reason))
+
+    def describe(self) -> str:
+        """One-paragraph summary for verbose rendering; "" when clean."""
+        if not self.errors and not self.retries:
+            return ""
+        lines = []
+        if self.retries:
+            lines.append(f"degraded: {self.retries} client retries")
+        for unit, reason in self.errors:
+            lines.append(f"partial: {unit}: {reason}")
+        return "\n".join(lines)
+
+
+def run_degradable(degradation: Degradation, unit: str,
+                   fn: Callable, *args, **kwargs):
+    """Run one measurement unit, degrading simulator errors to a record.
+
+    Returns ``fn``'s result, or None after recording the failure in
+    *degradation* — callers treat None as "this unit is missing", the
+    experiment-level analogue of a vantage that died mid-campaign.
+    """
+    try:
+        return fn(*args, **kwargs)
+    except DEGRADABLE_ERRORS as exc:
+        degradation.record_error(unit, f"{type(exc).__name__}: {exc}")
+        return None
 
 
 # ---------------------------------------------------------------------------

@@ -15,7 +15,13 @@ from typing import Dict, List, Optional, Tuple
 from ..core.measure.metrics import blocking_series, consistency
 from ..core.measure.resolver_scan import ResolverScanResult, scan_isp_resolvers
 from ..isps.profiles import DNS_FILTERING_ISPS
-from .common import domain_sample, format_table, get_world
+from .common import (
+    Degradation,
+    domain_sample,
+    format_table,
+    get_world,
+    run_degradable,
+)
 
 #: Paper values: ISP -> (total resolvers, poisoned, coverage %, consistency %).
 PAPER_FIG2 = {
@@ -30,6 +36,7 @@ class Fig2Result:
     #: ISP -> [(site_id, % of poisoned resolvers blocking it)]
     series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
     consistency: Dict[str, float] = field(default_factory=dict)
+    degradation: Degradation = field(default_factory=Degradation)
 
     def coverage(self, isp: str) -> float:
         return self.scans[isp].coverage
@@ -47,9 +54,11 @@ class Fig2Result:
                 round(self.consistency[isp] * 100, 1),
                 PAPER_FIG2.get(isp, "-"),
             ])
-        return format_table(headers, body,
-                            title="Figure 2 aggregates: DNS resolver "
-                                  "coverage and consistency")
+        table = format_table(headers, body,
+                             title="Figure 2 aggregates: DNS resolver "
+                                   "coverage and consistency")
+        extra = self.degradation.describe()
+        return table + ("\n" + extra if extra else "")
 
     def render_series(self, isp: str, limit: int = 20) -> str:
         rows = [(site_id, round(pct, 1))
@@ -68,7 +77,10 @@ def run(world=None, domains: Optional[List[str]] = None,
     site_ids = {site.domain: site.site_id for site in world.corpus}
     result = Fig2Result()
     for isp in isps:
-        scan = scan_isp_resolvers(world, isp, domains)
+        scan = run_degradable(result.degradation, f"resolver-scan@{isp}",
+                              scan_isp_resolvers, world, isp, domains)
+        if scan is None:
+            continue
         result.scans[isp] = scan
         per_resolver = dict(scan.censorious)
         result.consistency[isp] = consistency(per_resolver)

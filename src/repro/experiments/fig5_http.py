@@ -13,7 +13,13 @@ from typing import Dict, List, Optional, Tuple
 
 from ..core.measure.coverage import CoverageResult, measure_coverage_inside
 from ..core.measure.metrics import blocking_series
-from .common import domain_sample, format_table, get_world
+from .common import (
+    Degradation,
+    domain_sample,
+    format_table,
+    get_world,
+    run_degradable,
+)
 
 #: Paper consistency averages (percent).
 PAPER_FIG5 = {
@@ -29,6 +35,7 @@ FIG5_ISPS = ("airtel", "vodafone", "idea")
 class Fig5Result:
     campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
     series: Dict[str, List[Tuple[int, float]]] = field(default_factory=dict)
+    degradation: Degradation = field(default_factory=Degradation)
 
     def consistency(self, isp: str) -> float:
         return self.campaigns[isp].consistency
@@ -43,9 +50,11 @@ class Fig5Result:
                 round(campaign.consistency * 100, 1),
                 PAPER_FIG5.get(isp, "-"),
             ])
-        return format_table(headers, body,
-                            title="Figure 5 aggregates: middlebox "
-                                  "consistency per ISP")
+        table = format_table(headers, body,
+                             title="Figure 5 aggregates: middlebox "
+                                   "consistency per ISP")
+        extra = self.degradation.describe()
+        return table + ("\n" + extra if extra else "")
 
     def render_series(self, isp: str, limit: int = 20) -> str:
         rows = [(site_id, round(pct, 1))
@@ -64,7 +73,11 @@ def run(world=None, domains: Optional[List[str]] = None,
     site_ids = {site.domain: site.site_id for site in world.corpus}
     result = Fig5Result()
     for isp in isps:
-        campaign = measure_coverage_inside(world, isp, domains=domains)
+        campaign = run_degradable(result.degradation, f"coverage-in@{isp}",
+                                  measure_coverage_inside, world, isp,
+                                  domains=domains)
+        if campaign is None:
+            continue
         result.campaigns[isp] = campaign
         result.series[isp] = blocking_series(campaign.per_path_blocked(),
                                              site_ids)

@@ -20,7 +20,14 @@ from ..core.measure.ooni import (
     run_ooni,
 )
 from ..isps.profiles import OONI_TESTED_ISPS
-from .common import domain_sample, format_table, get_world, ground_truth_any
+from .common import (
+    Degradation,
+    domain_sample,
+    format_table,
+    get_world,
+    ground_truth_any,
+    run_degradable,
+)
 
 #: Paper values: ISP -> {column: (precision, recall)}.
 PAPER_TABLE1 = {
@@ -40,18 +47,21 @@ PAPER_TABLE1 = {
 @dataclass
 class Table1Row:
     isp: str
-    total: PrecisionRecall = None
-    dns: PrecisionRecall = None
-    tcp: PrecisionRecall = None
-    http: PrecisionRecall = None
+    total: Optional[PrecisionRecall] = None
+    dns: Optional[PrecisionRecall] = None
+    tcp: Optional[PrecisionRecall] = None
+    http: Optional[PrecisionRecall] = None
     ooni_flagged: int = 0
     actually_censored: int = 0
+    #: Client retries the OONI campaign spent inside this ISP.
+    retries: int = 0
 
 
 @dataclass
 class Table1Result:
     rows: List[Table1Row] = field(default_factory=list)
     runs: Dict[str, OONIRun] = field(default_factory=dict)
+    degradation: Degradation = field(default_factory=Degradation)
 
     def row(self, isp: str) -> Table1Row:
         for row in self.rows:
@@ -74,9 +84,11 @@ class Table1Result:
                 paper.get("total", "-"),
                 paper.get("http", "-"),
             ])
-        return format_table(
+        table = format_table(
             headers, body,
             title="Table 1: Accuracy of OONI — precision and recall")
+        extra = self.degradation.describe()
+        return table + ("\n" + extra if extra else "")
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -88,8 +100,17 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table1Result()
     for isp in isps:
-        ooni = run_ooni(world, isp, domains)
+        ooni = run_degradable(result.degradation, f"ooni@{isp}",
+                              run_ooni, world, isp, domains)
+        if ooni is None:
+            continue
         result.runs[isp] = ooni
+        campaign = ooni.degraded()
+        result.degradation.retries += campaign["retries"]
+        for domain, site in ooni.results.items():
+            if site.error is not None:
+                result.degradation.record_error(
+                    f"ooni@{isp}:{domain}", site.error)
         truth = ground_truth_any(world, isp, domains)
         actual_all = set(truth)
         actual_dns = {d for d, m in truth.items() if m == "dns"}
@@ -102,6 +123,7 @@ def run(world=None, domains: Optional[List[str]] = None,
             http=precision_recall(ooni.flagged(BLOCKING_HTTP), actual_http),
             ooni_flagged=len(ooni.flagged()),
             actually_censored=len(actual_all),
+            retries=campaign["retries"],
         )
         result.rows.append(row)
     return result

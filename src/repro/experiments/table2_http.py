@@ -23,7 +23,13 @@ from ..core.measure.coverage import (
     measure_coverage_outside,
 )
 from ..isps.profiles import HTTP_FILTERING_ISPS
-from .common import domain_sample, format_table, get_world
+from .common import (
+    Degradation,
+    domain_sample,
+    format_table,
+    get_world,
+    run_degradable,
+)
 
 #: Paper values: ISP -> (inside %, outside %, box type, websites blocked).
 PAPER_TABLE2 = {
@@ -50,6 +56,7 @@ class Table2Result:
     rows: List[Table2Row] = field(default_factory=list)
     inside_campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
     outside_campaigns: Dict[str, CoverageResult] = field(default_factory=dict)
+    degradation: Degradation = field(default_factory=Degradation)
 
     def row(self, isp: str) -> Table2Row:
         for row in self.rows:
@@ -70,8 +77,11 @@ class Table2Result:
                 row.websites_blocked,
                 PAPER_TABLE2.get(row.isp, "-"),
             ])
-        return format_table(headers, body,
-                            title="Table 2: HTTP filtering in different ISPs")
+        table = format_table(
+            headers, body,
+            title="Table 2: HTTP filtering in different ISPs")
+        extra = self.degradation.describe()
+        return table + ("\n" + extra if extra else "")
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -83,13 +93,20 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table2Result()
     for isp in isps:
-        inside = measure_coverage_inside(world, isp, domains=domains)
-        outside = measure_coverage_outside(world, isp, domains=domains)
+        inside = run_degradable(result.degradation, f"coverage-in@{isp}",
+                                measure_coverage_inside, world, isp,
+                                domains=domains)
+        outside = run_degradable(result.degradation, f"coverage-out@{isp}",
+                                 measure_coverage_outside, world, isp,
+                                 domains=domains)
+        if inside is None or outside is None:
+            continue
         result.inside_campaigns[isp] = inside
         result.outside_campaigns[isp] = outside
         kind = "?"
         if classify:
-            kind = _classify(world, isp) or "?"
+            kind = run_degradable(result.degradation, f"classify@{isp}",
+                                  _classify, world, isp) or "?"
         result.rows.append(Table2Row(
             isp=isp,
             inside_coverage=inside.coverage,

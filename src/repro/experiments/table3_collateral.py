@@ -16,7 +16,13 @@ from ..core.measure.collateral import (
     measure_collateral_express,
 )
 from ..isps.profiles import COLLATERAL_ISPS
-from .common import domain_sample, format_table, get_world
+from .common import (
+    Degradation,
+    domain_sample,
+    format_table,
+    get_world,
+    run_degradable,
+)
 
 #: Paper values: stub -> {neighbour: blocked count}.
 PAPER_TABLE3 = {
@@ -31,6 +37,7 @@ PAPER_TABLE3 = {
 @dataclass
 class Table3Result:
     reports: Dict[str, CollateralReport] = field(default_factory=dict)
+    degradation: Degradation = field(default_factory=Degradation)
 
     def counts(self, stub: str) -> Dict[str, int]:
         return self.reports[stub].counts()
@@ -53,9 +60,11 @@ class Table3Result:
                 f"{neighbour} ({count})"
                 for neighbour, count in PAPER_TABLE3.get(stub, {}).items())
             body.append([stub, measured or "-", paper])
-        return format_table(
+        table = format_table(
             headers, body,
             title="Table 3: Collateral damage from censorious neighbours")
+        extra = self.degradation.describe()
+        return table + ("\n" + extra if extra else "")
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -67,8 +76,11 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table3Result()
     for stub in stubs:
-        result.reports[stub] = measure_collateral_express(world, stub,
-                                                          domains)
+        report = run_degradable(result.degradation, f"collateral@{stub}",
+                                measure_collateral_express, world, stub,
+                                domains)
+        if report is not None:
+            result.reports[stub] = report
     return result
 
 

@@ -34,6 +34,8 @@ class FetchResult:
     timed_out: bool = False
     started_at: float = 0.0
     finished_at: float = 0.0
+    #: Total connection attempts, including the first (1 == no retries).
+    attempts: int = 1
     #: Live reference to the underlying connection (events keep
     #: accumulating during post-fetch teardown).
     conn: Optional[object] = None
@@ -112,7 +114,56 @@ class _FetchApp(TCPApp):
             self.done = True
 
 
+def _silent_failure(result: FetchResult) -> bool:
+    """Did the fetch fail without *any* signal from the far side?
+
+    Only this is retryable.  A RST is a censorship signature (covert
+    IM, wiretap reset) and partial data means the server was reached —
+    retrying either would overwrite evidence with a second experiment.
+    """
+    if result.got_rst or result.raw_stream:
+        return False
+    return not result.connected or result.timed_out
+
+
 def http_fetch(
+    network: Network,
+    client: Host,
+    dst_ip: str,
+    request: bytes,
+    *,
+    dst_port: int = 80,
+    ttl: int = 64,
+    timeout: float = DEFAULT_FETCH_TIMEOUT,
+    segment_size: Optional[int] = None,
+    settle: float = 0.1,
+    attempts: Optional[int] = None,
+) -> FetchResult:
+    """Fetch *request* from *dst_ip*, retrying silent failures.
+
+    Each attempt is a fresh TCP connection; exponential backoff between
+    attempts.  ``attempts=None`` defers to the network's
+    :class:`~repro.netsim.faults.HardeningPolicy` (single attempt on a
+    fault-free network, preserving seed behaviour).  See
+    :func:`_silent_failure` for what is — and deliberately is not —
+    retried.
+    """
+    policy = network.hardening
+    total = policy.fetch_attempts if attempts is None else max(1, attempts)
+    result: FetchResult
+    for attempt in range(1, total + 1):
+        result = _fetch_once(network, client, dst_ip, request,
+                             dst_port=dst_port, ttl=ttl, timeout=timeout,
+                             segment_size=segment_size, settle=settle)
+        result.attempts = attempt
+        if not _silent_failure(result):
+            break
+        if attempt < total:
+            network.run(until=network.now + policy.fetch_backoff(attempt))
+    return result
+
+
+def _fetch_once(
     network: Network,
     client: Host,
     dst_ip: str,

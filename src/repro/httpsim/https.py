@@ -16,6 +16,7 @@ from typing import Callable, Dict, Optional
 
 from ..netsim.devices import Host
 from ..netsim.engine import Network
+from ..netsim.errors import ConnectionError_
 from ..netsim.tcp import TCPApp, TCPConnection
 from .message import HTTPResponse, make_response
 from .tls import (
@@ -38,6 +39,9 @@ class HTTPSOriginServer:
     def __init__(self, name: str = "https-origin") -> None:
         self.name = name
         self.domains: Dict[str, HTTPSHandler] = {}
+        #: ``(now, remote, reason)`` entries for per-connection errors
+        #: that would otherwise be invisible (e.g. a close racing a RST).
+        self.error_log: list = []
 
     def add_domain(self, domain: str, handler: HTTPSHandler) -> None:
         self.domains[domain] = handler
@@ -88,8 +92,13 @@ class _HTTPSServerApp(TCPApp):
     def on_fin(self, conn: TCPConnection) -> None:
         try:
             conn.close()
-        except Exception:
-            pass
+        except ConnectionError_ as exc:
+            # The close can race a RST or an already-finished teardown;
+            # anything else (a programming error) must propagate.
+            now = conn.network.now if conn.network is not None else 0.0
+            self.server.error_log.append(
+                (now, conn.remote_ip, f"close-race: {exc}")
+            )
 
 
 @dataclass
@@ -103,6 +112,8 @@ class HTTPSFetchResult:
     response: Optional[HTTPResponse] = None
     got_rst: bool = False
     timed_out: bool = False
+    #: Total connection attempts, including the first (1 == no retries).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -168,8 +179,41 @@ def https_fetch(
     *,
     timeout: float = 8.0,
     key: int = 0x5A,
+    attempts: Optional[int] = None,
 ) -> HTTPSFetchResult:
-    """Fetch ``https://domain/`` from *dst_ip*."""
+    """Fetch ``https://domain/``, retrying silent failures.
+
+    As with :func:`~repro.httpsim.client.http_fetch`, only attempts
+    that die without any response (no connect, or timeout with no
+    handshake progress) are retried; a RST or any server bytes end the
+    fetch.  ``attempts=None`` defers to the network's hardening policy.
+    """
+    policy = network.hardening
+    total = policy.fetch_attempts if attempts is None else max(1, attempts)
+    result = HTTPSFetchResult(domain=domain, dst_ip=dst_ip)
+    for attempt in range(1, total + 1):
+        result = _https_fetch_once(network, client, dst_ip, domain,
+                                   timeout=timeout, key=key)
+        result.attempts = attempt
+        retryable = (not result.got_rst and not result.handshake_ok
+                     and (not result.connected or result.timed_out))
+        if not retryable:
+            break
+        if attempt < total:
+            network.run(until=network.now + policy.fetch_backoff(attempt))
+    return result
+
+
+def _https_fetch_once(
+    network: Network,
+    client: Host,
+    dst_ip: str,
+    domain: str,
+    *,
+    timeout: float = 8.0,
+    key: int = 0x5A,
+) -> HTTPSFetchResult:
+    """Drive one HTTPS exchange to completion or timeout."""
     result = HTTPSFetchResult(domain=domain, dst_ip=dst_ip)
     app = _HTTPSClientApp(result, key)
     conn = client.stack.connect(dst_ip, HTTPS_PORT, app)

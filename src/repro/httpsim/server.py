@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import Callable, Dict, Optional
 
 from ..netsim.devices import Host
+from ..netsim.errors import ConnectionError_
 from ..netsim.tcp import TCPApp, TCPConnection
 from .message import HTTPResponse, make_response
 from .parsing import ParsedRequest, parse_request_unit, split_request_units
@@ -41,6 +42,9 @@ class OriginServer:
         #: Raw request units received, for remote-controlled-server
         #: experiments that check what actually reached the wire end.
         self.request_log: list = []
+        #: ``(now, remote, reason)`` entries for per-connection errors
+        #: that would otherwise be invisible (e.g. a close racing a RST).
+        self.error_log: list = []
 
     def add_domain(self, domain: str, handler: DomainHandler) -> None:
         self.domains[domain] = handler
@@ -112,5 +116,10 @@ class _ServerConnectionApp(TCPApp):
         # Client finished sending; close our side too.
         try:
             conn.close()
-        except Exception:
-            pass
+        except ConnectionError_ as exc:
+            # The close can race a RST or an already-finished teardown;
+            # anything else (a programming error) must propagate.
+            now = conn.network.now if conn.network is not None else 0.0
+            self.server.error_log.append(
+                (now, conn.remote_ip, f"close-race: {exc}")
+            )

@@ -52,9 +52,9 @@ class ISPDeployment:
     profile: ISPProfile
     pool: Prefix
     network: Network
-    client: Host = None
-    border: Router = None
-    edge_client: Router = None
+    client: Optional[Host] = None
+    border: Optional[Router] = None
+    edge_client: Optional[Router] = None
     aggregation: List[Router] = field(default_factory=list)
     scan_edges: List[Router] = field(default_factory=list)
     scan_targets: List[str] = field(default_factory=list)
@@ -72,6 +72,10 @@ class ISPDeployment:
     @property
     def name(self) -> str:
         return self.profile.name
+
+    @property
+    def resolver_ips(self) -> List[str]:
+        return [ip for ip, _ in self.resolvers]
 
     def poisoned_resolver_ips(self) -> List[str]:
         return [ip for ip, service in self.resolvers

@@ -30,6 +30,7 @@ from ..httpsim.server import OriginServer
 from ..netsim.addressing import Prefix, PrefixAllocator
 from ..netsim.devices import Host, Router
 from ..netsim.engine import Network
+from ..netsim.faults import FaultInjector, FaultPlan, HardeningPolicy
 from ..websites.alexa import AlexaSite, build_alexa_destinations
 from ..websites.blocklists import BlocklistPlan, build_blocklists
 from ..websites.corpus import Corpus
@@ -95,6 +96,21 @@ class World:
             boxes.extend(deployment.middleboxes)
             boxes.extend(deployment.peering_boxes.values())
         return boxes
+
+    def all_resolver_ips(self) -> List[str]:
+        """Every recursive-resolver address, across all ISPs plus the
+        external estate — the scope fault plans target."""
+        ips: List[str] = []
+        for deployment in self.isps.values():
+            ips.extend(deployment.resolver_ips)
+        ips.append(self.google_dns.ip)
+        return ips
+
+    def install_faults(self, plan: FaultPlan,
+                       hardening: Optional[HardeningPolicy] = None,
+                       ) -> FaultInjector:
+        """Activate faults (and client hardening) on this world's network."""
+        return self.network.install_faults(plan, hardening)
 
 
 def build_world(

@@ -53,6 +53,19 @@ class Middlebox:
     def attach(self, router: "Router") -> None:
         self.router = router
 
+    def fault_blind(self, network) -> bool:
+        """Fault layer: does the box fail to inspect this packet at all?
+
+        Models overloaded DPI hardware shedding packets — distinct from
+        the wiretap race-miss, which sees the packet but reacts late.
+        """
+        if network is None or network.faults is None:
+            return False
+        if network.faults.middlebox_blind(self.name):
+            self.stats.fault_blind += 1
+            return True
+        return False
+
     def in_scope(self, client_ip: str) -> bool:
         """Is this flow's client inside the box's source scope?"""
         if self.source_prefixes is None:

@@ -85,6 +85,8 @@ class InterceptiveMiddlebox(Middlebox):
         """Inline verdict for one transiting packet."""
         if not packet.is_tcp:
             return FORWARD
+        if self.fault_blind(router.network):
+            return FORWARD
         record = self.flows.observe(packet, now)
 
         if record is not None and record.censored:

@@ -118,6 +118,8 @@ class TriggerStats:
     triggered: int = 0
     missed_race: int = 0
     dropped_post_censor: int = 0
+    #: Packets the fault layer made the box skip entirely.
+    fault_blind: int = 0
     by_domain: dict = field(default_factory=dict)
 
     def record_trigger(self, domain: str) -> None:

@@ -77,6 +77,8 @@ class WiretapMiddlebox(Middlebox):
         """Inspect one copied packet; maybe inject forged responses."""
         if not packet.is_tcp:
             return
+        if self.fault_blind(router.network):
+            return
         record = self.flows.observe(packet, now)
         if not self.is_client_to_server_http(packet):
             return

@@ -22,12 +22,21 @@ from __future__ import annotations
 import heapq
 import itertools
 import zlib
+from collections import Counter
 from typing import Callable, Dict, List, Optional, Tuple
 
 import networkx as nx
 
 from .devices import Host, Node, Router
 from .errors import RoutingError, SimulationError, UnknownNodeError
+from .faults import (
+    DEFAULT_HARDENING,
+    DUPLICATE_GAP,
+    NO_HARDENING,
+    FaultInjector,
+    FaultPlan,
+    HardeningPolicy,
+)
 from .packets import Packet, make_time_exceeded
 
 #: Default one-way link delay in (virtual) seconds.
@@ -69,6 +78,28 @@ class Network:
         self._seq = itertools.count()
         self._dist_cache: Dict[str, Dict[str, float]] = {}
         self._events_processed = 0
+        #: Installed by :meth:`install_faults`; ``None`` means a perfect
+        #: network — the seed repo's behaviour, byte for byte.
+        self.faults: Optional[FaultInjector] = None
+        #: Client resilience knobs consulted by dns/http/tcp layers.
+        #: Stays at seed-repo single-shot behaviour until faults are
+        #: installed.
+        self.hardening: HardeningPolicy = NO_HARDENING
+
+    def install_faults(self, plan: FaultPlan,
+                       hardening: Optional[HardeningPolicy] = None,
+                       ) -> FaultInjector:
+        """Activate a fault plan (and, by default, client hardening).
+
+        Passing ``hardening=None`` selects :data:`~.faults.DEFAULT_HARDENING`
+        — injecting faults without hardening the clients is almost never
+        what an experiment wants, but tests can pass
+        :data:`~.faults.NO_HARDENING` explicitly to demonstrate the
+        failure modes.
+        """
+        self.faults = FaultInjector(plan)
+        self.hardening = DEFAULT_HARDENING if hardening is None else hardening
+        return self.faults
 
     # ------------------------------------------------------------------
     # Topology construction
@@ -259,7 +290,7 @@ class Network:
         """Emit *packet* from *from_node* toward its destination."""
         owner = self.ip_owner.get(packet.dst)
         if owner is None:
-            self.drops.append((self.now, "no-route", packet))
+            self._drop("no-route", packet)
             return
         if owner is from_node:
             # Loopback delivery.
@@ -267,10 +298,34 @@ class Network:
             return
         nxt = self.next_hop(from_node, packet.dst, packet.src)
         if nxt is None:
-            self.drops.append((self.now, "no-route", packet))
+            self._drop("no-route", packet)
             return
-        delay = self.graph.edges[from_node.name, nxt.name]["delay"]
-        self.call_later(delay, self._arrive, nxt, packet)
+        self._forward_link(from_node, nxt, packet)
+
+    def _drop(self, reason: str, packet: Packet) -> None:
+        """Record a dropped packet (list for tests, counter for stats)."""
+        self.drops.append((self.now, reason, packet))
+
+    def _forward_link(self, from_node: Node, to_node: Node,
+                      packet: Packet) -> None:
+        """Put *packet* on the link toward *to_node*, faults permitting."""
+        delay = self.graph.edges[from_node.name, to_node.name]["delay"]
+        if self.faults is not None:
+            decision = self.faults.on_link(from_node.name, to_node.name,
+                                           self.now)
+            if decision.dropped:
+                self._drop(
+                    f"{decision.drop_reason}:{from_node.name}->{to_node.name}",
+                    packet,
+                )
+                return
+            if decision.duplicate:
+                self.call_later(
+                    delay + decision.extra_delay + DUPLICATE_GAP,
+                    self._arrive, to_node, packet.clone(),
+                )
+            delay += decision.extra_delay
+        self.call_later(delay, self._arrive, to_node, packet)
 
     def _deliver_local(self, node: Node, packet: Packet) -> None:
         if isinstance(node, Host):
@@ -283,7 +338,7 @@ class Network:
                 node.deliver(packet, self.now)
             else:
                 # Hosts do not forward.
-                self.drops.append((self.now, "host-not-dst", packet))
+                self._drop("host-not-dst", packet)
             return
         assert isinstance(node, Router)
         self._route_through(node, packet)
@@ -304,7 +359,7 @@ class Network:
         if inline is not None:
             verdict = inline.process(packet, self.now, router)
             if verdict == DROP:
-                self.drops.append((self.now, f"inline-drop:{router.name}", packet))
+                self._drop(f"inline-drop:{router.name}", packet)
                 return
             if verdict == CONSUMED:
                 return
@@ -318,24 +373,37 @@ class Network:
                 reply = make_time_exceeded(router.ip, packet)
                 self.transmit(router, reply)
             else:
-                self.drops.append((self.now, f"ttl-anon:{router.name}", packet))
+                self._drop(f"ttl-anon:{router.name}", packet)
             return
 
         if router.owns_ip(packet.dst):
             # Routers terminate nothing in this model.
-            self.drops.append((self.now, "router-is-dst", packet))
+            self._drop("router-is-dst", packet)
             return
 
         nxt = self.next_hop(router, packet.dst, packet.src)
         if nxt is None:
-            self.drops.append((self.now, f"no-route:{router.name}", packet))
+            self._drop(f"no-route:{router.name}", packet)
             return
-        delay = self.graph.edges[router.name, nxt.name]["delay"]
-        self.call_later(delay, self._arrive, nxt, packet)
+        self._forward_link(router, nxt, packet)
 
     # ------------------------------------------------------------------
     # Introspection helpers
     # ------------------------------------------------------------------
+
+    def drop_stats(self, *, collapse: bool = True) -> Dict[str, int]:
+        """Structured view of :attr:`drops` as ``reason -> count``.
+
+        With ``collapse=True`` the per-hop suffix (``reason:a->b`` or
+        ``reason:router``) is stripped so counters aggregate by cause —
+        the form the CLI prints in verbose mode.
+        """
+        counts: Counter = Counter()
+        for _, reason, _ in self.drops:
+            if collapse and ":" in reason:
+                reason = reason.split(":", 1)[0]
+            counts[reason] += 1
+        return dict(counts)
 
     def inject_at(self, router: Router, packet: Packet) -> None:
         """Inject a (usually forged) packet into the network at *router*.

@@ -14,8 +14,11 @@ behaviours, all implemented here:
 * RST generation for segments that reach a closed or unknown
   connection.
 
-Out-of-order reassembly, retransmission and congestion control are
-deliberately omitted: no experiment in the paper depends on them.
+Out-of-order reassembly and congestion control are deliberately
+omitted: no experiment in the paper depends on them.  A minimal
+go-back-N retransmission scheme exists but stays dormant until the
+fault layer enables it (``network.hardening.tcp_retransmit``), so
+perfect-network traces are byte-identical to a stack without it.
 Measurement code can send crafted segments (arbitrary TTL, repeated
 sequence numbers, unusual flag combinations) through the same stack,
 mirroring the authors' scapy usage.
@@ -115,6 +118,13 @@ class TCPConnection:
         self.received = bytearray()
         self.events: List[Tuple[float, str, str]] = []
         self._timer_generation = 0
+        # Retransmission state.  Kept on a generation counter separate
+        # from the protocol timers: arming a retransmit must never
+        # cancel a pending connect/teardown timeout.
+        self._rtx_generation = 0
+        self._rtx_count = 0
+        self._unacked: List[Tuple[int, TCPFlags, bytes]] = []
+        self.retransmits = 0
 
     # -- helpers ---------------------------------------------------------
 
@@ -169,6 +179,69 @@ class TCPConnection:
 
     def _cancel_timers(self) -> None:
         self._timer_generation += 1
+        self._cancel_rtx()
+
+    # -- retransmission (fault-mode only) ---------------------------------
+
+    def _retransmit_enabled(self) -> bool:
+        network = self.network
+        return network is not None and network.hardening.tcp_retransmit
+
+    @staticmethod
+    def _seg_len(seq: int, flags: TCPFlags, payload: bytes) -> int:
+        length = len(payload)
+        if flags & (TCPFlags.SYN | TCPFlags.FIN):
+            length += 1
+        return length
+
+    def _track_unacked(self, seq: int, flags: TCPFlags,
+                       payload: bytes) -> None:
+        """Remember an in-flight segment and (re)arm the retransmit timer."""
+        if not self._retransmit_enabled():
+            return
+        self._unacked.append((seq, flags, payload))
+        self._arm_rtx()
+
+    def _arm_rtx(self) -> None:
+        hardening = self.network.hardening
+        self._rtx_generation += 1
+        generation = self._rtx_generation
+
+        def fire() -> None:
+            if (self._rtx_generation != generation
+                    or not self._unacked
+                    or self.state in (CLOSED, TIME_WAIT)):
+                return
+            if self._rtx_count >= hardening.max_retransmits:
+                return
+            self._rtx_count += 1
+            for seq, flags, payload in self._unacked:
+                self._emit(flags, seq=seq, payload=payload,
+                           ack=0 if flags == TCPFlags.SYN else None)
+                self.retransmits += 1
+            self._log("rtx", f"{len(self._unacked)} segs "
+                             f"try={self._rtx_count}")
+            self._arm_rtx()
+
+        self.network.call_later(hardening.retransmit_interval, fire)
+
+    def _cancel_rtx(self) -> None:
+        self._rtx_generation += 1
+
+    def _ack_advance(self, ack: int) -> None:
+        """Drop tracked segments the peer has now acknowledged."""
+        if not self._unacked:
+            return
+        remaining = [
+            (seq, flags, payload)
+            for seq, flags, payload in self._unacked
+            if seq + self._seg_len(seq, flags, payload) > ack
+        ]
+        if len(remaining) != len(self._unacked):
+            self._unacked = remaining
+            if not remaining:
+                self._cancel_rtx()
+                self._rtx_count = 0
 
     # -- opening ----------------------------------------------------------
 
@@ -181,6 +254,7 @@ class TCPConnection:
         self.snd_nxt = self.iss + 1
         self._log("syn-sent")
         self._arm_timer(CONNECT_TIMEOUT, (SYN_SENT,), self._connect_timed_out)
+        self._track_unacked(self.iss, TCPFlags.SYN, b"")
 
     def _connect_timed_out(self) -> None:
         self._log("connect-timeout")
@@ -222,6 +296,11 @@ class TCPConnection:
             if push and is_last:
                 flags |= TCPFlags.PSH
             self._emit(flags, seq=seq, payload=chunk, ttl=ttl)
+            # Only ordinary stream data is retransmittable; crafted
+            # sends (TTL-limited or sequence-repeating probes) must hit
+            # the wire exactly once to keep their measurement semantics.
+            if advance and ttl is None:
+                self._track_unacked(seq, flags, chunk)
             seq += len(chunk)
         if advance:
             self.snd_nxt = seq
@@ -249,6 +328,7 @@ class TCPConnection:
         """Initiate an orderly close (send FIN)."""
         if self.state == ESTABLISHED:
             self._emit(TCPFlags.FIN | TCPFlags.ACK)
+            self._track_unacked(self.snd_nxt, TCPFlags.FIN | TCPFlags.ACK, b"")
             self.snd_nxt += 1
             self.state = FIN_WAIT_1
             self._log("fin-sent")
@@ -258,6 +338,7 @@ class TCPConnection:
             )
         elif self.state == CLOSE_WAIT:
             self._emit(TCPFlags.FIN | TCPFlags.ACK)
+            self._track_unacked(self.snd_nxt, TCPFlags.FIN | TCPFlags.ACK, b"")
             self.snd_nxt += 1
             self.state = LAST_ACK
             self._log("fin-sent")
@@ -309,12 +390,19 @@ class TCPConnection:
 
         if self.state == SYN_RCVD:
             if segment.has(TCPFlags.ACK) and segment.ack == self.snd_nxt:
+                self._ack_advance(segment.ack)
                 self.state = ESTABLISHED
                 self._log("established")
                 self.app.on_connected(self)
                 # The ACK may carry data (e.g. a piggybacked request).
                 if segment.payload or segment.has(TCPFlags.FIN):
                     self._handle_stream_segment(segment)
+            elif (segment.has(TCPFlags.SYN) and not segment.has(TCPFlags.ACK)
+                    and self._retransmit_enabled()):
+                # A retransmitted SYN means our SYN|ACK was lost: say it
+                # again.
+                self._emit(TCPFlags.SYN | TCPFlags.ACK, seq=self.iss)
+                self._log("rtx-synack")
             return
 
         if self.state in (ESTABLISHED, FIN_WAIT_1, FIN_WAIT_2,
@@ -340,6 +428,7 @@ class TCPConnection:
         if segment.has(TCPFlags.SYN) and segment.has(TCPFlags.ACK):
             if segment.ack != self.snd_nxt:
                 return
+            self._ack_advance(segment.ack)
             self.rcv_nxt = segment.seq + 1
             self._emit(TCPFlags.ACK)
             self.state = ESTABLISHED
@@ -349,6 +438,7 @@ class TCPConnection:
     def _handle_stream_segment(self, segment: TCPSegment) -> None:
         # ACK bookkeeping for teardown progress.
         if segment.has(TCPFlags.ACK):
+            self._ack_advance(segment.ack)
             if self.state == FIN_WAIT_1 and segment.ack == self.snd_nxt:
                 self.state = FIN_WAIT_2
             elif self.state == CLOSING and segment.ack == self.snd_nxt:
@@ -489,6 +579,7 @@ class TCPStack:
         conn._emit(TCPFlags.SYN | TCPFlags.ACK, seq=conn.iss)
         conn.snd_nxt = conn.iss + 1
         conn._log("syn-rcvd")
+        conn._track_unacked(conn.iss, TCPFlags.SYN | TCPFlags.ACK, b"")
 
     def _reject(self, packet: Packet) -> None:
         """Answer a stray segment with RST, per RFC 793 rules."""

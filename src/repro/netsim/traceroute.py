@@ -65,19 +65,32 @@ def traceroute(
     max_hops: int = 32,
     proto: str = "udp",
     probe_timeout: float = 0.5,
+    probes_per_hop: Optional[int] = None,
 ) -> TracerouteResult:
     """Run traceroute from *source* toward *dst_ip*.
 
     Args:
         proto: ``"udp"`` (classic) or ``"tcp"`` (SYN probes to port 80,
             useful when UDP is filtered).
+        probes_per_hop: probes sent per TTL before the hop is recorded
+            as silent — real traceroute's ``-q``.  On a lossy network a
+            single probe would misread lost packets as anonymized
+            routers; ``None`` defers to the network's hardening policy
+            (1 on a fault-free network).
     """
     if proto not in ("udp", "tcp"):
         raise ValueError(f"unsupported traceroute protocol: {proto}")
+    if probes_per_hop is None:
+        probes_per_hop = network.hardening.traceroute_probes_per_hop
 
     result = TracerouteResult(dst_ip=dst_ip)
     for ttl in range(1, max_hops + 1):
-        reply = _probe_once(network, source, dst_ip, ttl, proto, probe_timeout)
+        reply = None
+        for _ in range(max(1, probes_per_hop)):
+            reply = _probe_once(network, source, dst_ip, ttl, proto,
+                                probe_timeout)
+            if reply is not None:
+                break
         if reply is None:
             result.hops.append(None)
             continue
