@@ -4,6 +4,8 @@
 
     python -m repro info                      # world summary
     python -m repro experiment table2        # regenerate a table/figure
+    python -m repro campaign                 # ALL experiments, durable
+    python -m repro campaign --resume DIR    # continue a killed run
     python -m repro fetch airtel <domain>    # fetch like a browser
     python -m repro evade idea <domain>      # try every evasion
     python -m repro trace idea <domain>      # iterative network trace
@@ -15,6 +17,11 @@ deterministic fault schedule, ``--retries`` overrides how often the
 hardened clients retry, and ``--verbose`` prints drop/fault statistics
 after the command.  Experiments additionally honour
 ``REPRO_BENCH_FRACTION``.
+
+``campaign`` journals every measurement unit to
+``<run-dir>/journal.jsonl`` and renders ``<run-dir>/tables.txt`` from
+the journal, so a killed run resumes with ``--resume`` and re-measures
+only missing units — see ``docs/CAMPAIGNS.md``.
 """
 
 from __future__ import annotations
@@ -27,22 +34,14 @@ from typing import Optional
 from .isps import PROFILES, build_world
 from .netsim.faults import DEFAULT_HARDENING, FaultPlan
 
-#: CLI experiment name -> experiments module attribute.
-EXPERIMENTS = {
-    "table1": "table1_ooni",
-    "table2": "table2_http",
-    "table3": "table3_collateral",
-    "fig2": "fig2_dns",
-    "fig5": "fig5_http",
-    "trigger": "trigger_analysis",
-    "dns-mechanism": "dns_mechanism",
-    "tcpip": "tcpip_filtering",
-    "statefulness": "statefulness",
-    "evasion": "evasion_matrix",
-    "ooni-failures": "ooni_failures",
-    "https": "https_filtering",
-    "idiosyncrasies": "idiosyncrasies",
-}
+#: CLI experiment names (canonical registry lives in
+#: :data:`repro.experiments.EXPERIMENT_MODULES`; mirrored here so
+#: building the parser doesn't import the whole measurement stack).
+EXPERIMENTS = (
+    "table1", "table2", "table3", "fig2", "fig5", "trigger",
+    "dns-mechanism", "tcpip", "statefulness", "evasion",
+    "ooni-failures", "https", "idiosyncrasies",
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -75,6 +74,34 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="regenerate a paper table/figure")
     experiment.add_argument("name", choices=sorted(EXPERIMENTS))
 
+    campaign = sub.add_parser(
+        "campaign", parents=[common],
+        help="run experiments as a crash-safe, resumable campaign")
+    # No argparse choices= here: nargs="*" validates its empty default
+    # against them on some Python versions; Campaign rejects unknown
+    # names with the full list instead.
+    campaign.add_argument("names", nargs="*", metavar="experiment",
+                          help="experiments to run (default: all; "
+                               "same names as 'experiment')")
+    campaign.add_argument("--run-dir", default="campaign-run",
+                          help="directory for journal.jsonl + tables.txt")
+    campaign.add_argument("--resume", metavar="RUN_DIR", default=None,
+                          help="resume a killed campaign from its "
+                               "run directory")
+    campaign.add_argument("--deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget for the whole campaign")
+    campaign.add_argument("--unit-deadline", type=float, default=None,
+                          metavar="SECONDS",
+                          help="wall-clock budget per measurement unit")
+    campaign.add_argument("--unit-steps", type=int, default=None,
+                          metavar="N",
+                          help="simulated-event budget per unit "
+                               "(deterministic timeout)")
+    campaign.add_argument("--journal", action="store_true",
+                          help="echo journal records as they are "
+                               "appended")
+
     fetch = sub.add_parser("fetch", parents=[common],
                            help="fetch a domain from inside an ISP")
     fetch.add_argument("isp", choices=sorted(PROFILES))
@@ -98,6 +125,8 @@ def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "experiment":
         return _cmd_experiment(args)
+    if args.command == "campaign":
+        return _cmd_campaign(args)
     world = build_world(seed=args.seed, scale=args.scale)
     _install_faults(world, args)
     if args.command == "info":
@@ -165,7 +194,7 @@ def _cmd_info(world) -> int:
 def _cmd_experiment(args) -> int:
     from . import experiments
 
-    module = getattr(experiments, EXPERIMENTS[args.name])
+    module = experiments.EXPERIMENT_MODULES[args.name]
     world = experiments.get_world(seed=args.seed, scale=args.scale)
     _install_faults(world, args)
     result = module.run(world)
@@ -173,6 +202,33 @@ def _cmd_experiment(args) -> int:
     if args.verbose:
         _print_fault_stats(world)
     return 0
+
+
+def _cmd_campaign(args) -> int:
+    from .runner import CampaignError
+    from .runner.campaign import Campaign
+
+    run_dir = args.resume if args.resume is not None else args.run_dir
+    try:
+        campaign = Campaign(
+            experiments=list(args.names) or None,
+            seed=args.seed,
+            scale=args.scale,
+            run_dir=run_dir,
+            resume=args.resume is not None,
+            unit_steps=args.unit_steps,
+            unit_wall=args.unit_deadline,
+            deadline=args.deadline,
+            loss=args.loss,
+            fault_seed=args.fault_seed,
+            retries=args.retries,
+            echo_journal=args.journal,
+        )
+        report = campaign.run()
+    except CampaignError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    print(report.render())
+    return 0 if report.complete else 1
 
 
 def _pick_domain(world, isp: str, domain: Optional[str]) -> Optional[str]:

@@ -36,9 +36,34 @@ from . import (
     tcpip_filtering,
     trigger_analysis,
 )
-from .common import domain_sample, format_table, get_world
+from .common import (
+    clear_world_cache,
+    domain_sample,
+    format_table,
+    get_world,
+)
+
+#: CLI/campaign experiment key -> module.  The campaign runner walks
+#: this registry; every module exposes ``units()`` and ``CAMPAIGN``.
+EXPERIMENT_MODULES = {
+    "table1": table1_ooni,
+    "table2": table2_http,
+    "table3": table3_collateral,
+    "fig2": fig2_dns,
+    "fig5": fig5_http,
+    "trigger": trigger_analysis,
+    "dns-mechanism": dns_mechanism,
+    "tcpip": tcpip_filtering,
+    "statefulness": statefulness,
+    "evasion": evasion_matrix,
+    "ooni-failures": ooni_failures,
+    "https": https_filtering,
+    "idiosyncrasies": idiosyncrasies,
+}
 
 __all__ = [
+    "EXPERIMENT_MODULES",
+    "clear_world_cache",
     "common",
     "dns_mechanism",
     "domain_sample",

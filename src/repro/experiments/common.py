@@ -9,6 +9,8 @@ published values for side-by-side comparison.
 from __future__ import annotations
 
 import os
+import warnings
+from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import (
     Callable,
@@ -29,8 +31,22 @@ from ..core.measure.fastprobe import (
 from ..isps.world import World, build_world
 from ..netsim.addressing import is_bogon
 from ..netsim.errors import NetSimError
+from ..runner.errors import (
+    FATAL,
+    TRANSIENT,
+    TRANSIENT_RETRIES,
+    TimeoutDegradation,
+    classify_error,
+)
+from ..runner.units import TableSpec, Unit, campaign_payload  # noqa: F401
 
-_WORLD_CACHE: Dict[Tuple[int, float], World] = {}
+#: LRU of built worlds, keyed by ``(seed, scale)``.  Bounded so long
+#: campaigns sweeping many seeds/scales don't grow memory without
+#: limit; evictions rebuild on the next request (~cheap, determinstic).
+_WORLD_CACHE: "OrderedDict[Tuple[int, float], World]" = OrderedDict()
+
+#: Maximum number of worlds kept alive in :data:`_WORLD_CACHE`.
+WORLD_CACHE_MAX = 4
 
 #: Environment knob: fraction of the PBW corpus experiment runs sweep.
 #: 1.0 regenerates the full tables; smaller values give quick looks.
@@ -38,21 +54,40 @@ BENCH_FRACTION_ENV = "REPRO_BENCH_FRACTION"
 
 
 def get_world(seed: int = 1808, scale: float = 1.0) -> World:
-    """A cached full world for experiment runs."""
+    """A cached full world for experiment runs (bounded LRU)."""
     key = (seed, scale)
-    if key not in _WORLD_CACHE:
-        _WORLD_CACHE[key] = build_world(seed=seed, scale=scale)
-    return _WORLD_CACHE[key]
+    if key in _WORLD_CACHE:
+        _WORLD_CACHE.move_to_end(key)
+        return _WORLD_CACHE[key]
+    world = build_world(seed=seed, scale=scale)
+    _WORLD_CACHE[key] = world
+    while len(_WORLD_CACHE) > WORLD_CACHE_MAX:
+        _WORLD_CACHE.popitem(last=False)
+    return world
+
+
+def clear_world_cache() -> None:
+    """Drop every cached world (tests; memory-sensitive campaigns)."""
+    _WORLD_CACHE.clear()
 
 
 def bench_fraction(default: float = 1.0) -> float:
-    """The corpus fraction experiments should sweep (env-overridable)."""
+    """The corpus fraction experiments should sweep (env-overridable).
+
+    An unparsable value is *reported*, not silently swallowed: the
+    warning names the bad value so a typo in ``REPRO_BENCH_FRACTION``
+    can't masquerade as a full-corpus run.
+    """
     raw = os.environ.get(BENCH_FRACTION_ENV)
     if not raw:
         return default
     try:
         value = float(raw)
     except ValueError:
+        warnings.warn(
+            f"ignoring invalid {BENCH_FRACTION_ENV}={raw!r} (not a "
+            f"number); using default {default}",
+            RuntimeWarning, stacklevel=2)
         return default
     return min(1.0, max(0.01, value))
 
@@ -75,6 +110,8 @@ def domain_sample(world: World, fraction: Optional[float] = None
 
 #: Errors an experiment survives by recording a partial entry.  Only
 #: simulator failures qualify — programming errors must still crash.
+#: (Kept for backward compatibility; the full taxonomy lives in
+#: :mod:`repro.runner.errors` and is what :func:`run_degradable` uses.)
 DEGRADABLE_ERRORS = (NetSimError,)
 
 
@@ -84,47 +121,79 @@ class Degradation:
 
     Experiments attach one of these to their result object; a clean run
     leaves it empty, so rendering and comparisons are unchanged unless
-    something actually went wrong.
+    something actually went wrong.  The campaign runner aggregates one
+    per run, absorbing timeout and resume accounting as well.
     """
 
     #: ``(unit, reason)`` for every measurement unit that errored out.
     errors: List[Tuple[str, str]] = field(default_factory=list)
     #: Total client retries spent across the experiment.
     retries: int = 0
+    #: Units whose deadline budget expired (hangs converted to data).
+    timeouts: List[TimeoutDegradation] = field(default_factory=list)
+    #: Units restored from a campaign journal instead of re-measured.
+    resumed: int = 0
 
     @property
     def partial(self) -> bool:
         """Did any unit fail outright (beyond mere retries)?"""
-        return bool(self.errors)
+        return bool(self.errors or self.timeouts)
 
     def record_error(self, unit: str, reason: str) -> None:
         self.errors.append((unit, reason))
 
+    def record_timeout(self, entry: TimeoutDegradation) -> None:
+        self.timeouts.append(entry)
+
     def describe(self) -> str:
         """One-paragraph summary for verbose rendering; "" when clean."""
-        if not self.errors and not self.retries:
+        if not (self.errors or self.retries or self.timeouts
+                or self.resumed):
             return ""
         lines = []
+        if self.resumed:
+            lines.append(f"resumed: {self.resumed} units from journal")
         if self.retries:
             lines.append(f"degraded: {self.retries} client retries")
+        for entry in self.timeouts:
+            lines.append(entry.describe())
         for unit, reason in self.errors:
             lines.append(f"partial: {unit}: {reason}")
         return "\n".join(lines)
 
 
 def run_degradable(degradation: Degradation, unit: str,
-                   fn: Callable, *args, **kwargs):
-    """Run one measurement unit, degrading simulator errors to a record.
+                   fn: Callable, *args, **kwargs) -> Tuple[bool, object]:
+    """Run one measurement unit, degrading survivable errors to a record.
 
-    Returns ``fn``'s result, or None after recording the failure in
-    *degradation* — callers treat None as "this unit is missing", the
-    experiment-level analogue of a vantage that died mid-campaign.
+    Returns ``(ok, value)``: ``(True, result)`` on success — where
+    *result* may legitimately be ``None`` — or ``(False, None)`` after
+    recording the failure in *degradation*.  The distinction matters:
+    a classifier returning ``None`` means "could not determine", while
+    ``ok=False`` means the unit itself died, the experiment-level
+    analogue of a vantage lost mid-campaign.
+
+    Failures are routed through the structured taxonomy in
+    :mod:`repro.runner.errors`: *transient* errors earn an immediate
+    retry (the fault-injector streams advance between attempts),
+    *degradable* ones are recorded, and *fatal* ones — programming
+    errors — are re-raised.
     """
-    try:
-        return fn(*args, **kwargs)
-    except DEGRADABLE_ERRORS as exc:
-        degradation.record_error(unit, f"{type(exc).__name__}: {exc}")
-        return None
+    attempts = 0
+    while True:
+        attempts += 1
+        try:
+            return True, fn(*args, **kwargs)
+        except Exception as exc:
+            category = classify_error(exc)
+            if category == FATAL:
+                raise
+            if category == TRANSIENT and attempts <= TRANSIENT_RETRIES:
+                continue
+            prefix = "[transient] " if category == TRANSIENT else ""
+            degradation.record_error(
+                unit, f"{prefix}{type(exc).__name__}: {exc}")
+            return False, None
 
 
 # ---------------------------------------------------------------------------
@@ -217,3 +286,9 @@ def _fmt(cell) -> str:
     if isinstance(cell, tuple):
         return "(" + ", ".join(_fmt(c) for c in cell) + ")"
     return str(cell)
+
+
+#: Public alias: experiments pre-format campaign-unit row cells with
+#: this so payloads survive the journal's JSON round trip unchanged
+#: (tuples would otherwise come back as lists and render differently).
+fmt_cell = _fmt

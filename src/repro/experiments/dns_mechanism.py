@@ -20,7 +20,13 @@ from ..dnssim.zones import GlobalDNS
 from ..isps.profiles import DNS_FILTERING_ISPS
 from ..middlebox.dns_injector import DNSInjectorMiddlebox
 from ..netsim.engine import Network
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    format_table,
+    get_world,
+)
 
 
 @dataclass
@@ -33,29 +39,65 @@ class DNSMechanismResult:
         return {trace.mechanism for trace in self.traces[isp]}
 
     def render(self) -> str:
-        headers = ["ISP", "resolvers traced", "answer hop = last hop",
-                   "mechanism"]
-        body = []
-        for isp, traces in self.traces.items():
-            last_hop = sum(1 for t in traces
-                           if t.answer_hop == t.resolver_hop)
-            mechanisms = sorted(self.mechanisms(isp))
-            body.append([isp, len(traces), f"{last_hop}/{len(traces)}",
-                         "/".join(mechanisms)])
-        if self.injector_trace is not None:
-            trace = self.injector_trace
-            body.append([
-                "(synthetic GFW)", 1,
-                f"answer at hop {trace.answer_hop} of {trace.resolver_hop}",
-                trace.mechanism,
-            ])
-        return format_table(
-            headers, body,
-            title="Section 3.2-III: DNS poisoning vs injection")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one unit per DNS-censoring ISP plus the
+#: synthetic GFW-style injector control.
+CAMPAIGN = TableSpec(
+    title="Section 3.2-III: DNS poisoning vs injection",
+    headers=("ISP", "resolvers traced", "answer hop = last hop",
+             "mechanism"),
+)
+
+
+def _isp_rows(result: "DNSMechanismResult") -> List[List]:
+    body = []
+    for isp, traces in result.traces.items():
+        last_hop = sum(1 for t in traces
+                       if t.answer_hop == t.resolver_hop)
+        mechanisms = sorted(result.mechanisms(isp))
+        body.append([isp, len(traces), f"{last_hop}/{len(traces)}",
+                     "/".join(mechanisms)])
+    return body
+
+
+def _injector_row(trace: DNSTraceResult) -> List:
+    return ["(synthetic GFW)", 1,
+            f"answer at hop {trace.answer_hop} of {trace.resolver_hop}",
+            trace.mechanism]
+
+
+def _body_rows(result: "DNSMechanismResult") -> List[List]:
+    body = _isp_rows(result)
+    if result.injector_trace is not None:
+        body.append(_injector_row(result.injector_trace))
+    return body
+
+
+def units(isps=DNS_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+    yield Unit("synthetic-injector", _campaign_unit_injector)
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,), with_injector=False)
+        return campaign_payload(_isp_rows(result))
+    return unit_fn
+
+
+def _campaign_unit_injector(world, domains):
+    trace = _synthetic_injector_trace()
+    return campaign_payload([_injector_row(trace)])
 
 
 def run(world=None, isps=DNS_FILTERING_ISPS,
-        resolvers_per_isp: int = 5) -> DNSMechanismResult:
+        resolvers_per_isp: int = 5,
+        with_injector: bool = True) -> DNSMechanismResult:
     """Trace censorious resolvers; contrast with a synthetic injector."""
     if world is None:
         world = get_world()
@@ -72,7 +114,8 @@ def run(world=None, isps=DNS_FILTERING_ISPS,
             traces.append(dns_iterative_trace(world, client, resolver_ip,
                                               blocked[0]))
         result.traces[isp] = traces
-    result.injector_trace = _synthetic_injector_trace()
+    if with_injector:
+        result.injector_trace = _synthetic_injector_trace()
     return result
 
 

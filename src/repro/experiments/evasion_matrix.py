@@ -15,7 +15,14 @@ from ..core.evasion.engine import EvasionMatrix, evade_all, evaluate_matrix
 from ..core.evasion.strategies import STRATEGIES
 from ..core.measure.fastprobe import canonical_payload, express_http_probe
 from ..isps.profiles import HTTP_FILTERING_ISPS
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    fmt_cell,
+    format_table,
+    get_world,
+)
 
 #: The strategy the paper highlights per middlebox family.
 PAPER_EXPECTED = {
@@ -38,25 +45,49 @@ class EvasionExperimentResult:
                    for winner in self.winners.get(isp, {}).values())
 
     def render(self) -> str:
-        headers = ["ISP"] + [s.name for s in STRATEGIES] + ["all evaded"]
-        body = []
-        for isp, matrix in self.matrices.items():
-            row = [isp]
-            for strat in STRATEGIES:
-                rate = matrix.success_rate(strat.name)
-                cell = f"{rate:.0%}"
-                if strat.name in PAPER_EXPECTED.get(isp, ()):
-                    cell += "*"
-                row.append(cell)
-            row.append(self.all_sites_evaded(isp))
-            body.append(row)
-        for isp in self.skipped:
-            body.append([isp] + ["-"] * len(STRATEGIES)
-                        + ["no censored path"])
-        legend = "\n(* = strategy the paper reports for this ISP)"
         return format_table(
-            headers, body,
-            title="Section 5: evasion strategy effectiveness") + legend
+            list(CAMPAIGN.headers), _body_rows(self),
+            title=CAMPAIGN.title) + "\n" + CAMPAIGN.footer
+
+
+#: Campaign decomposition: one resumable unit per censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Section 5: evasion strategy effectiveness",
+    headers=("ISP",) + tuple(s.name for s in STRATEGIES)
+    + ("all evaded",),
+    footer="(* = strategy the paper reports for this ISP)",
+)
+
+
+def _body_rows(result: "EvasionExperimentResult") -> List[List[str]]:
+    body = []
+    for isp, matrix in result.matrices.items():
+        row = [isp]
+        for strat in STRATEGIES:
+            rate = matrix.success_rate(strat.name)
+            cell = f"{rate:.0%}"
+            if strat.name in PAPER_EXPECTED.get(isp, ()):
+                cell += "*"
+            row.append(cell)
+        row.append(fmt_cell(result.all_sites_evaded(isp)))
+        body.append(row)
+    for isp in result.skipped:
+        body.append([isp] + ["-"] * len(STRATEGIES)
+                    + ["no censored path"])
+    return body
+
+
+def units(isps=HTTP_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def censored_sample(world, isp: str, limit: int) -> List[str]:

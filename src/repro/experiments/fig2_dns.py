@@ -17,7 +17,11 @@ from ..core.measure.resolver_scan import ResolverScanResult, scan_isp_resolvers
 from ..isps.profiles import DNS_FILTERING_ISPS
 from .common import (
     Degradation,
+    TableSpec,
+    Unit,
+    campaign_payload,
     domain_sample,
+    fmt_cell,
     format_table,
     get_world,
     run_degradable,
@@ -42,21 +46,8 @@ class Fig2Result:
         return self.scans[isp].coverage
 
     def render(self) -> str:
-        headers = ["ISP", "Resolvers", "Poisoned", "Coverage%",
-                   "Consistency%", "paper (tot, poi, cov%, cons%)"]
-        body = []
-        for isp, scan in self.scans.items():
-            body.append([
-                isp,
-                len(scan.open_resolvers),
-                len(scan.censorious),
-                round(scan.coverage * 100, 1),
-                round(self.consistency[isp] * 100, 1),
-                PAPER_FIG2.get(isp, "-"),
-            ])
-        table = format_table(headers, body,
-                             title="Figure 2 aggregates: DNS resolver "
-                                   "coverage and consistency")
+        table = format_table(list(CAMPAIGN.headers), _body_rows(self),
+                             title=CAMPAIGN.title)
         extra = self.degradation.describe()
         return table + ("\n" + extra if extra else "")
 
@@ -65,6 +56,39 @@ class Fig2Result:
                 for site_id, pct in self.series[isp][:limit]]
         return format_table(["Website ID", "% resolvers blocking"], rows,
                             title=f"Figure 2 series ({isp}, first {limit})")
+
+
+#: Campaign decomposition: one resumable unit per DNS-censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Figure 2 aggregates: DNS resolver coverage and consistency",
+    headers=("ISP", "Resolvers", "Poisoned", "Coverage%",
+             "Consistency%", "paper (tot, poi, cov%, cons%)"),
+)
+
+
+def _body_rows(result: "Fig2Result") -> List[List[str]]:
+    return [
+        [isp,
+         fmt_cell(len(scan.open_resolvers)),
+         fmt_cell(len(scan.censorious)),
+         fmt_cell(round(scan.coverage * 100, 1)),
+         fmt_cell(round(result.consistency[isp] * 100, 1)),
+         fmt_cell(PAPER_FIG2.get(isp, "-"))]
+        for isp, scan in result.scans.items()
+    ]
+
+
+def units(isps=DNS_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result), result.degradation)
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -77,9 +101,10 @@ def run(world=None, domains: Optional[List[str]] = None,
     site_ids = {site.domain: site.site_id for site in world.corpus}
     result = Fig2Result()
     for isp in isps:
-        scan = run_degradable(result.degradation, f"resolver-scan@{isp}",
-                              scan_isp_resolvers, world, isp, domains)
-        if scan is None:
+        ok, scan = run_degradable(result.degradation,
+                                  f"resolver-scan@{isp}",
+                                  scan_isp_resolvers, world, isp, domains)
+        if not ok:
             continue
         result.scans[isp] = scan
         per_resolver = dict(scan.censorious)

@@ -15,7 +15,11 @@ from ..core.measure.coverage import CoverageResult, measure_coverage_inside
 from ..core.measure.metrics import blocking_series
 from .common import (
     Degradation,
+    TableSpec,
+    Unit,
+    campaign_payload,
     domain_sample,
+    fmt_cell,
     format_table,
     get_world,
     run_degradable,
@@ -41,18 +45,8 @@ class Fig5Result:
         return self.campaigns[isp].consistency
 
     def render(self) -> str:
-        headers = ["ISP", "Poisoned paths", "Consistency%", "paper%"]
-        body = []
-        for isp, campaign in self.campaigns.items():
-            body.append([
-                isp,
-                f"{campaign.n_poisoned}/{campaign.n_paths}",
-                round(campaign.consistency * 100, 1),
-                PAPER_FIG5.get(isp, "-"),
-            ])
-        table = format_table(headers, body,
-                             title="Figure 5 aggregates: middlebox "
-                                   "consistency per ISP")
+        table = format_table(list(CAMPAIGN.headers), _body_rows(self),
+                             title=CAMPAIGN.title)
         extra = self.degradation.describe()
         return table + ("\n" + extra if extra else "")
 
@@ -61,6 +55,36 @@ class Fig5Result:
                 for site_id, pct in self.series[isp][:limit]]
         return format_table(["Website ID", "% paths blocking"], rows,
                             title=f"Figure 5 series ({isp}, first {limit})")
+
+
+#: Campaign decomposition: one resumable unit per middlebox ISP.
+CAMPAIGN = TableSpec(
+    title="Figure 5 aggregates: middlebox consistency per ISP",
+    headers=("ISP", "Poisoned paths", "Consistency%", "paper%"),
+)
+
+
+def _body_rows(result: "Fig5Result") -> List[List[str]]:
+    return [
+        [isp,
+         f"{campaign.n_poisoned}/{campaign.n_paths}",
+         fmt_cell(round(campaign.consistency * 100, 1)),
+         fmt_cell(PAPER_FIG5.get(isp, "-"))]
+        for isp, campaign in result.campaigns.items()
+    ]
+
+
+def units(isps=FIG5_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result), result.degradation)
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -73,10 +97,11 @@ def run(world=None, domains: Optional[List[str]] = None,
     site_ids = {site.domain: site.site_id for site in world.corpus}
     result = Fig5Result()
     for isp in isps:
-        campaign = run_degradable(result.degradation, f"coverage-in@{isp}",
-                                  measure_coverage_inside, world, isp,
-                                  domains=domains)
-        if campaign is None:
+        ok, campaign = run_degradable(result.degradation,
+                                      f"coverage-in@{isp}",
+                                      measure_coverage_inside, world, isp,
+                                      domains=domains)
+        if not ok:
             continue
         result.campaigns[isp] = campaign
         result.series[isp] = blocking_series(campaign.per_path_blocked(),

@@ -20,7 +20,13 @@ from ..core.vantage import VantagePoint
 from ..httpsim.https import HTTPSFetchResult, https_fetch
 from ..isps.profiles import OONI_TESTED_ISPS
 from ..netsim.addressing import is_bogon
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    format_table,
+    get_world,
+)
 
 
 @dataclass
@@ -46,17 +52,39 @@ class HTTPSFilteringResult:
                    for instance in instances)
 
     def render(self) -> str:
-        headers = ["ISP", "HTTPS sites tested", "filtering instances",
-                   "causes"]
-        body = []
-        for isp, count in self.tested.items():
-            instances = self.per_isp.get(isp, [])
-            causes = sorted({i.cause for i in instances}) or ["-"]
-            body.append([isp, count, len(instances), ", ".join(causes)])
-        return format_table(
-            headers, body,
-            title="Section 4.2: HTTPS filtering instances "
-                  "(paper: <5, all DNS-caused)")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per tested ISP.
+CAMPAIGN = TableSpec(
+    title="Section 4.2: HTTPS filtering instances "
+          "(paper: <5, all DNS-caused)",
+    headers=("ISP", "HTTPS sites tested", "filtering instances",
+             "causes"),
+)
+
+
+def _body_rows(result: "HTTPSFilteringResult") -> List[List]:
+    body = []
+    for isp, count in result.tested.items():
+        instances = result.per_isp.get(isp, [])
+        causes = sorted({i.cause for i in instances}) or ["-"]
+        body.append([isp, count, len(instances), ", ".join(causes)])
+    return body
+
+
+def units(isps=OONI_TESTED_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def run(world=None, isps=OONI_TESTED_ISPS) -> HTTPSFilteringResult:

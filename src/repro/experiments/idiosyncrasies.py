@@ -24,7 +24,14 @@ from ..core.measure.probes import CraftedFlow
 from ..core.vantage import VantagePoint
 from ..httpsim.message import GetRequestSpec
 from ..isps.profiles import HTTP_FILTERING_ISPS
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    fmt_cell,
+    format_table,
+    get_world,
+)
 
 
 @dataclass
@@ -49,22 +56,46 @@ class IdiosyncrasiesResult:
     reports: Dict[str, IdiosyncrasyReport] = field(default_factory=dict)
 
     def render(self) -> str:
-        headers = ["ISP", "port-80 only", "fixed IP-ID",
-                   "stale (dead blocked)", "keep-alive extends state"]
-        body = []
-        for isp, report in self.reports.items():
-            body.append([
-                isp,
-                report.port_80_only
-                if report.port_80_only is not None else "-",
-                report.fixed_ip_id if report.fixed_ip_id else "variable",
-                f"{report.dead_sites_still_blocked}/"
-                f"{report.dead_sites_on_blocklist}",
-                report.keepalive_extends_flow
-                if report.keepalive_extends_flow is not None else "-",
-            ])
-        return format_table(headers, body,
-                            title="Section 6.3: middlebox idiosyncrasies")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per HTTP-censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Section 6.3: middlebox idiosyncrasies",
+    headers=("ISP", "port-80 only", "fixed IP-ID",
+             "stale (dead blocked)", "keep-alive extends state"),
+)
+
+
+def _body_rows(result: "IdiosyncrasiesResult") -> List[List[str]]:
+    body = []
+    for isp, report in result.reports.items():
+        body.append([
+            isp,
+            fmt_cell(report.port_80_only)
+            if report.port_80_only is not None else "-",
+            fmt_cell(report.fixed_ip_id)
+            if report.fixed_ip_id else "variable",
+            f"{report.dead_sites_still_blocked}/"
+            f"{report.dead_sites_on_blocklist}",
+            fmt_cell(report.keepalive_extends_flow)
+            if report.keepalive_extends_flow is not None else "-",
+        ])
+    return body
+
+
+def units(isps=HTTP_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def run(world=None, isps=HTTP_FILTERING_ISPS) -> IdiosyncrasiesResult:

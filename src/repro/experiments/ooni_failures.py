@@ -17,7 +17,18 @@ from typing import Dict, List, Optional
 
 from ..core.measure.detector import run_detector
 from ..core.measure.ooni import BLOCKING_NONE, run_ooni
-from .common import domain_sample, format_table, get_world, ground_truth_any
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    domain_sample,
+    format_table,
+    get_world,
+    ground_truth_any,
+)
+
+#: The ISPs the paper's failure anatomy focuses on.
+OONI_FAILURE_ISPS = ("airtel", "idea")
 
 
 @dataclass
@@ -42,25 +53,47 @@ class OONIFailureResult:
     breakdowns: Dict[str, OONIFailureBreakdown] = field(default_factory=dict)
 
     def render(self) -> str:
-        headers = ["ISP", "TP", "FP causes", "FN causes",
-                   "authors' method cleared"]
-        body = []
-        for isp, b in self.breakdowns.items():
-            fp_text = ", ".join(f"{k}:{v}" for k, v in
-                                sorted(b.false_positives.items())) or "-"
-            fn_text = ", ".join(f"{k}:{v}" for k, v in
-                                sorted(b.false_negatives.items())) or "-"
-            cleared = (f"{b.detector_cleared}/{b.detector_flagged} "
-                       f"({b.false_flag_fraction:.0%})")
-            body.append([isp, b.true_positives, fp_text, fn_text, cleared])
-        return format_table(
-            headers, body,
-            title="Sections 3.1/6.2: why OONI errs (and the authors' "
-                  "method doesn't)")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per analysed ISP.
+CAMPAIGN = TableSpec(
+    title="Sections 3.1/6.2: why OONI errs (and the authors' "
+          "method doesn't)",
+    headers=("ISP", "TP", "FP causes", "FN causes",
+             "authors' method cleared"),
+)
+
+
+def _body_rows(result: "OONIFailureResult") -> List[List]:
+    body = []
+    for isp, b in result.breakdowns.items():
+        fp_text = ", ".join(f"{k}:{v}" for k, v in
+                            sorted(b.false_positives.items())) or "-"
+        fn_text = ", ".join(f"{k}:{v}" for k, v in
+                            sorted(b.false_negatives.items())) or "-"
+        cleared = (f"{b.detector_cleared}/{b.detector_flagged} "
+                   f"({b.false_flag_fraction:.0%})")
+        body.append([isp, b.true_positives, fp_text, fn_text, cleared])
+    return body
+
+
+def units(isps=OONI_FAILURE_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
-        isps=("airtel", "idea"), detector_sample: int = 60
+        isps=OONI_FAILURE_ISPS, detector_sample: int = 60
         ) -> OONIFailureResult:
     """Break down OONI's errors by confounder for the given ISPs."""
     if world is None:

@@ -20,7 +20,14 @@ from ..core.measure.stateful import (
     probe_statefulness,
 )
 from ..isps.profiles import HTTP_FILTERING_ISPS
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    fmt_cell,
+    format_table,
+    get_world,
+)
 
 #: Idle durations used to bracket the 150 s purge.
 TIMEOUT_CANDIDATES = (60.0, 140.0, 170.0)
@@ -33,27 +40,51 @@ class StatefulnessResult:
     skipped: List[str] = field(default_factory=list)
 
     def render(self) -> str:
-        headers = ["ISP", "no-hs", "SYN-only", "SYNACK-first",
-                   "no-final-ACK", "full-hs", "stateful",
-                   "timeout bracket (s)"]
-        body = []
-        for isp, report in self.reports.items():
-            bracket = self.timeouts.get(isp)
-            bracket_text = "-"
-            if bracket is not None:
-                bracket_text = (f"({bracket.lower_bound}, "
-                                f"{bracket.upper_bound})")
-            body.append([
-                isp, report.no_handshake, report.syn_only,
-                report.synack_first, report.missing_final_ack,
-                report.full_handshake, report.stateful, bracket_text,
-            ])
-        for isp in self.skipped:
-            body.append([isp, "-", "-", "-", "-", "-", "-",
-                         "no censored path"])
-        return format_table(
-            headers, body,
-            title="Section 4.2.1: middlebox statefulness probes")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per HTTP-censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Section 4.2.1: middlebox statefulness probes",
+    headers=("ISP", "no-hs", "SYN-only", "SYNACK-first",
+             "no-final-ACK", "full-hs", "stateful",
+             "timeout bracket (s)"),
+)
+
+
+def _body_rows(result: "StatefulnessResult") -> List[List[str]]:
+    body = []
+    for isp, report in result.reports.items():
+        bracket = result.timeouts.get(isp)
+        bracket_text = "-"
+        if bracket is not None:
+            bracket_text = (f"({bracket.lower_bound}, "
+                            f"{bracket.upper_bound})")
+        body.append([
+            isp, fmt_cell(report.no_handshake), fmt_cell(report.syn_only),
+            fmt_cell(report.synack_first),
+            fmt_cell(report.missing_final_ack),
+            fmt_cell(report.full_handshake), fmt_cell(report.stateful),
+            bracket_text,
+        ])
+    for isp in result.skipped:
+        body.append([isp, "-", "-", "-", "-", "-", "-",
+                     "no censored path"])
+    return body
+
+
+def units(isps=HTTP_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def run(world=None, isps=HTTP_FILTERING_ISPS,

@@ -22,7 +22,11 @@ from ..core.measure.ooni import (
 from ..isps.profiles import OONI_TESTED_ISPS
 from .common import (
     Degradation,
+    TableSpec,
+    Unit,
+    campaign_payload,
     domain_sample,
+    fmt_cell,
     format_table,
     get_world,
     ground_truth_any,
@@ -70,25 +74,47 @@ class Table1Result:
         raise KeyError(isp)
 
     def render(self) -> str:
-        headers = ["ISP", "Total(P,R)", "DNS(P,R)", "TCP(P,R)",
-                   "HTTP(P,R)", "paper Total", "paper HTTP"]
-        body = []
-        for row in self.rows:
-            paper = PAPER_TABLE1.get(row.isp, {})
-            body.append([
-                row.isp,
-                row.total.as_tuple(),
-                row.dns.as_tuple(),
-                row.tcp.as_tuple(),
-                row.http.as_tuple(),
-                paper.get("total", "-"),
-                paper.get("http", "-"),
-            ])
-        table = format_table(
-            headers, body,
-            title="Table 1: Accuracy of OONI — precision and recall")
+        table = format_table(list(CAMPAIGN.headers), _body_rows(self),
+                             title=CAMPAIGN.title)
         extra = self.degradation.describe()
         return table + ("\n" + extra if extra else "")
+
+
+#: Campaign decomposition: one resumable unit per OONI-tested ISP.
+CAMPAIGN = TableSpec(
+    title="Table 1: Accuracy of OONI — precision and recall",
+    headers=("ISP", "Total(P,R)", "DNS(P,R)", "TCP(P,R)",
+             "HTTP(P,R)", "paper Total", "paper HTTP"),
+)
+
+
+def _body_rows(result: "Table1Result") -> List[List[str]]:
+    body = []
+    for row in result.rows:
+        paper = PAPER_TABLE1.get(row.isp, {})
+        body.append([
+            row.isp,
+            fmt_cell(row.total.as_tuple()),
+            fmt_cell(row.dns.as_tuple()),
+            fmt_cell(row.tcp.as_tuple()),
+            fmt_cell(row.http.as_tuple()),
+            fmt_cell(paper.get("total", "-")),
+            fmt_cell(paper.get("http", "-")),
+        ])
+    return body
+
+
+def units(isps=OONI_TESTED_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result), result.degradation)
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -100,9 +126,9 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table1Result()
     for isp in isps:
-        ooni = run_degradable(result.degradation, f"ooni@{isp}",
-                              run_ooni, world, isp, domains)
-        if ooni is None:
+        ok, ooni = run_degradable(result.degradation, f"ooni@{isp}",
+                                  run_ooni, world, isp, domains)
+        if not ok:
             continue
         result.runs[isp] = ooni
         campaign = ooni.degraded()

@@ -25,7 +25,11 @@ from ..core.measure.coverage import (
 from ..isps.profiles import HTTP_FILTERING_ISPS
 from .common import (
     Degradation,
+    TableSpec,
+    Unit,
+    campaign_payload,
     domain_sample,
+    fmt_cell,
     format_table,
     get_world,
     run_degradable,
@@ -65,23 +69,43 @@ class Table2Result:
         raise KeyError(isp)
 
     def render(self) -> str:
-        headers = ["ISP", "Cov% (inside)", "Cov% (outside)", "Type",
-                   "Blocked", "paper (in, out, type, blocked)"]
-        body = []
-        for row in self.rows:
-            body.append([
-                row.isp,
-                round(row.inside_coverage * 100, 1),
-                round(row.outside_coverage * 100, 1),
-                row.middlebox_type,
-                row.websites_blocked,
-                PAPER_TABLE2.get(row.isp, "-"),
-            ])
-        table = format_table(
-            headers, body,
-            title="Table 2: HTTP filtering in different ISPs")
+        table = format_table(list(CAMPAIGN.headers), _body_rows(self),
+                             title=CAMPAIGN.title)
         extra = self.degradation.describe()
         return table + ("\n" + extra if extra else "")
+
+
+#: Campaign decomposition: one resumable unit per HTTP-censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Table 2: HTTP filtering in different ISPs",
+    headers=("ISP", "Cov% (inside)", "Cov% (outside)", "Type",
+             "Blocked", "paper (in, out, type, blocked)"),
+)
+
+
+def _body_rows(result: "Table2Result") -> List[List[str]]:
+    return [
+        [row.isp,
+         fmt_cell(round(row.inside_coverage * 100, 1)),
+         fmt_cell(round(row.outside_coverage * 100, 1)),
+         fmt_cell(row.middlebox_type),
+         fmt_cell(row.websites_blocked),
+         fmt_cell(PAPER_TABLE2.get(row.isp, "-"))]
+        for row in result.rows
+    ]
+
+
+def units(isps=HTTP_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result), result.degradation)
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -93,20 +117,26 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table2Result()
     for isp in isps:
-        inside = run_degradable(result.degradation, f"coverage-in@{isp}",
-                                measure_coverage_inside, world, isp,
-                                domains=domains)
-        outside = run_degradable(result.degradation, f"coverage-out@{isp}",
-                                 measure_coverage_outside, world, isp,
-                                 domains=domains)
-        if inside is None or outside is None:
+        in_ok, inside = run_degradable(result.degradation,
+                                       f"coverage-in@{isp}",
+                                       measure_coverage_inside, world, isp,
+                                       domains=domains)
+        out_ok, outside = run_degradable(result.degradation,
+                                         f"coverage-out@{isp}",
+                                         measure_coverage_outside, world,
+                                         isp, domains=domains)
+        if not (in_ok and out_ok):
             continue
         result.inside_campaigns[isp] = inside
         result.outside_campaigns[isp] = outside
         kind = "?"
         if classify:
-            kind = run_degradable(result.degradation, f"classify@{isp}",
-                                  _classify, world, isp) or "?"
+            # _classify legitimately returns None for "undeterminable";
+            # only a dead unit (ok=False) is a degradation.
+            _, determined = run_degradable(result.degradation,
+                                           f"classify@{isp}",
+                                           _classify, world, isp)
+            kind = determined or "?"
         result.rows.append(Table2Row(
             isp=isp,
             inside_coverage=inside.coverage,

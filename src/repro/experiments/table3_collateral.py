@@ -18,6 +18,9 @@ from ..core.measure.collateral import (
 from ..isps.profiles import COLLATERAL_ISPS
 from .common import (
     Degradation,
+    TableSpec,
+    Unit,
+    campaign_payload,
     domain_sample,
     format_table,
     get_world,
@@ -49,22 +52,44 @@ class Table3Result:
         return max(counts, key=counts.get)
 
     def render(self) -> str:
-        headers = ["Stub ISP", "Neighbours (measured)", "paper"]
-        body = []
-        for stub, report in self.reports.items():
-            measured = ", ".join(
-                f"{neighbour} ({count})"
-                for neighbour, count in sorted(report.counts().items(),
-                                               key=lambda kv: -kv[1]))
-            paper = ", ".join(
-                f"{neighbour} ({count})"
-                for neighbour, count in PAPER_TABLE3.get(stub, {}).items())
-            body.append([stub, measured or "-", paper])
-        table = format_table(
-            headers, body,
-            title="Table 3: Collateral damage from censorious neighbours")
+        table = format_table(list(CAMPAIGN.headers), _body_rows(self),
+                             title=CAMPAIGN.title)
         extra = self.degradation.describe()
         return table + ("\n" + extra if extra else "")
+
+
+#: Campaign decomposition: one resumable unit per non-censoring stub.
+CAMPAIGN = TableSpec(
+    title="Table 3: Collateral damage from censorious neighbours",
+    headers=("Stub ISP", "Neighbours (measured)", "paper"),
+)
+
+
+def _body_rows(result: "Table3Result") -> List[List[str]]:
+    body = []
+    for stub, report in result.reports.items():
+        measured = ", ".join(
+            f"{neighbour} ({count})"
+            for neighbour, count in sorted(report.counts().items(),
+                                           key=lambda kv: -kv[1]))
+        paper = ", ".join(
+            f"{neighbour} ({count})"
+            for neighbour, count in PAPER_TABLE3.get(stub, {}).items())
+        body.append([stub, measured or "-", paper])
+    return body
+
+
+def units(stubs=COLLATERAL_ISPS):
+    """Named measurement units for the campaign runner."""
+    for stub in stubs:
+        yield Unit(stub, _campaign_unit(stub))
+
+
+def _campaign_unit(stub: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, stubs=(stub,))
+        return campaign_payload(_body_rows(result), result.degradation)
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,
@@ -76,10 +101,11 @@ def run(world=None, domains: Optional[List[str]] = None,
         domains = domain_sample(world)
     result = Table3Result()
     for stub in stubs:
-        report = run_degradable(result.degradation, f"collateral@{stub}",
-                                measure_collateral_express, world, stub,
-                                domains)
-        if report is not None:
+        ok, report = run_degradable(result.degradation,
+                                    f"collateral@{stub}",
+                                    measure_collateral_express, world,
+                                    stub, domains)
+        if ok:
             result.reports[stub] = report
     return result
 

@@ -13,7 +13,14 @@ from typing import Dict, List, Optional
 
 from ..core.measure.tcpip import TCPIPFilterReport, detect_tcpip_filtering
 from ..isps.profiles import OONI_TESTED_ISPS
-from .common import domain_sample, format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    domain_sample,
+    format_table,
+    get_world,
+)
 
 
 @dataclass
@@ -25,16 +32,39 @@ class TCPIPExperimentResult:
         return any(report.any_filtering for report in self.reports.values())
 
     def render(self) -> str:
-        headers = ["ISP", "sites tested", "filtered", "finding"]
-        body = []
-        for isp, report in self.reports.items():
-            filtered = report.filtered_domains()
-            body.append([
-                isp, len(report.successes), len(filtered),
-                "TCP/IP filtering" if filtered else "none (as in paper)",
-            ])
-        return format_table(headers, body,
-                            title="Section 3.3: TCP/IP filtering test")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per tested ISP.
+CAMPAIGN = TableSpec(
+    title="Section 3.3: TCP/IP filtering test",
+    headers=("ISP", "sites tested", "filtered", "finding"),
+)
+
+
+def _body_rows(result: "TCPIPExperimentResult") -> List[List]:
+    body = []
+    for isp, report in result.reports.items():
+        filtered = report.filtered_domains()
+        body.append([
+            isp, len(report.successes), len(filtered),
+            "TCP/IP filtering" if filtered else "none (as in paper)",
+        ])
+    return body
+
+
+def units(isps=OONI_TESTED_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, domains=domains, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def run(world=None, domains: Optional[List[str]] = None,

@@ -15,7 +15,14 @@ from typing import Dict, List, Optional
 from ..core.measure.fastprobe import canonical_payload, express_http_probe
 from ..core.measure.trigger import TriggerAnalysis, analyze_trigger
 from ..isps.profiles import HTTP_FILTERING_ISPS
-from .common import format_table, get_world
+from .common import (
+    TableSpec,
+    Unit,
+    campaign_payload,
+    fmt_cell,
+    format_table,
+    get_world,
+)
 
 
 @dataclass
@@ -24,24 +31,46 @@ class TriggerExperimentResult:
     skipped: List[str] = field(default_factory=list)
 
     def render(self) -> str:
-        headers = ["ISP", "TTL n-1 censored", "crafted bypass",
-                   "Host-only trigger", "conclusion"]
-        body = []
-        for isp, analysis in self.analyses.items():
-            body.append([
-                isp,
-                analysis.censored_at_ttl_n_minus_1,
-                analysis.crafted_variant_bypassing or "-",
-                analysis.host_field_triggers
-                and not analysis.domain_in_path_triggers,
-                "request-only" if "request-only" in analysis.conclusion
-                else "inconclusive",
-            ])
-        for isp in self.skipped:
-            body.append([isp, "-", "-", "-", "no censored path found"])
-        return format_table(
-            headers, body,
-            title="Section 3.4: what triggers the middleboxes")
+        return format_table(list(CAMPAIGN.headers), _body_rows(self),
+                            title=CAMPAIGN.title)
+
+
+#: Campaign decomposition: one resumable unit per HTTP-censoring ISP.
+CAMPAIGN = TableSpec(
+    title="Section 3.4: what triggers the middleboxes",
+    headers=("ISP", "TTL n-1 censored", "crafted bypass",
+             "Host-only trigger", "conclusion"),
+)
+
+
+def _body_rows(result: "TriggerExperimentResult") -> List[List[str]]:
+    body = []
+    for isp, analysis in result.analyses.items():
+        body.append([
+            isp,
+            fmt_cell(analysis.censored_at_ttl_n_minus_1),
+            fmt_cell(analysis.crafted_variant_bypassing or "-"),
+            fmt_cell(analysis.host_field_triggers
+                     and not analysis.domain_in_path_triggers),
+            "request-only" if "request-only" in analysis.conclusion
+            else "inconclusive",
+        ])
+    for isp in result.skipped:
+        body.append([isp, "-", "-", "-", "no censored path found"])
+    return body
+
+
+def units(isps=HTTP_FILTERING_ISPS):
+    """Named measurement units for the campaign runner."""
+    for isp in isps:
+        yield Unit(isp, _campaign_unit(isp))
+
+
+def _campaign_unit(isp: str):
+    def unit_fn(world, domains):
+        result = run(world, isps=(isp,))
+        return campaign_payload(_body_rows(result))
+    return unit_fn
 
 
 def _censored_target(world, isp: str):

@@ -85,6 +85,11 @@ class Network:
         #: Stays at seed-repo single-shot behaviour until faults are
         #: installed.
         self.hardening: HardeningPolicy = NO_HARDENING
+        #: Cooperative deadline hook: when set, called (no args) after
+        #: every processed event.  The campaign watchdog uses it to
+        #: convert runaway units into recorded timeouts; exceptions it
+        #: raises propagate out of :meth:`run`.
+        self.step_hook: Optional[Callable[[], None]] = None
 
     def install_faults(self, plan: FaultPlan,
                        hardening: Optional[HardeningPolicy] = None,
@@ -191,6 +196,8 @@ class Network:
             fn(*args)
             processed += 1
             self._events_processed += 1
+            if self.step_hook is not None:
+                self.step_hook()
             if processed > max_events:
                 raise SimulationError(
                     f"event budget exceeded ({max_events}); likely a packet loop"

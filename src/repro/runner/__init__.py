@@ -1,0 +1,65 @@
+"""repro.runner — crash-safe campaign orchestration.
+
+The layer above individual experiments: decompose every experiment
+into named measurement units, journal each unit durably, resume from
+the journal after a crash, and guard runaway units with cooperative
+deadlines.  See ``docs/CAMPAIGNS.md`` for the full model.
+
+Public surface::
+
+    from repro.runner import Campaign, Journal, Watchdog
+
+:class:`Campaign` is imported lazily (module ``__getattr__``) so that
+``repro.experiments.common`` can import the error taxonomy from this
+package without a circular import.
+"""
+
+from .errors import (
+    DEGRADABLE,
+    FATAL,
+    TRANSIENT,
+    CampaignDeadline,
+    CampaignError,
+    JournalError,
+    ResumeMismatch,
+    SimulatedCrash,
+    TimeoutDegradation,
+    TransientUnitError,
+    UnitTimeout,
+    classify_error,
+)
+from .journal import Journal
+from .units import TableSpec, Unit, campaign_payload
+from .watchdog import Watchdog
+
+__all__ = [
+    "Campaign",
+    "CampaignDeadline",
+    "CampaignError",
+    "CampaignReport",
+    "DEGRADABLE",
+    "FATAL",
+    "Journal",
+    "JournalError",
+    "ResumeMismatch",
+    "SimulatedCrash",
+    "TRANSIENT",
+    "TableSpec",
+    "TimeoutDegradation",
+    "TransientUnitError",
+    "Unit",
+    "UnitTimeout",
+    "Watchdog",
+    "campaign_payload",
+    "classify_error",
+]
+
+_LAZY = ("Campaign", "CampaignReport")
+
+
+def __getattr__(name):
+    if name in _LAZY:
+        from . import campaign as _campaign
+
+        return getattr(_campaign, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

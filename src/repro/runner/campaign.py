@@ -1,0 +1,429 @@
+"""Crash-safe campaign orchestration.
+
+A :class:`Campaign` decomposes experiments into named measurement
+units (each module's ``units()`` iterator), streams every unit's
+result to an append-only hash-chained journal (``journal.jsonl`` in
+the run directory), and renders the final tables **from the journal**
+— never from in-memory state.  Consequences:
+
+* killing the process at any point loses at most the unit in flight;
+* ``resume=True`` re-runs only missing, failed, or timed-out units;
+* straight and killed-and-resumed runs with the same seed produce
+  byte-identical ``tables.txt`` (every payload takes the same
+  JSON round trip either way, and every unit runs on a fresh world
+  built from the campaign seed, never on state left over from
+  earlier units).
+
+A cooperative :class:`~repro.runner.watchdog.Watchdog` bounds runaway
+units: per-unit simulated-event budgets (deterministic) and per-unit /
+per-campaign wall-clock guards (for real hangs) convert a stuck unit
+into a recorded :class:`~repro.runner.errors.TimeoutDegradation` entry
+and move on.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from .errors import (
+    FATAL,
+    CampaignDeadline,
+    CampaignError,
+    ResumeMismatch,
+    SimulatedCrash,
+    TimeoutDegradation,
+    UnitTimeout,
+    classify_error,
+)
+from .journal import Journal
+from .units import Unit
+from .watchdog import Watchdog
+
+#: Journal schema version (bump on incompatible record changes).
+JOURNAL_VERSION = 1
+
+#: Fault-injection knob: "crash" after durably journaling N units.
+CRASH_AFTER_ENV = "REPRO_CAMPAIGN_CRASH_AFTER"
+
+#: Unit statuses whose journal entries survive a resume untouched.
+_DURABLE_STATUSES = ("ok", "degraded")
+
+
+def _registry(experiments: Optional[Sequence[str]]):
+    """Resolve experiment keys to modules (lazy import: no cycles)."""
+    from ..experiments import EXPERIMENT_MODULES
+
+    if experiments is None:
+        return dict(EXPERIMENT_MODULES)
+    registry = {}
+    for key in experiments:
+        if key not in EXPERIMENT_MODULES:
+            raise CampaignError(
+                f"unknown experiment {key!r} (choose from "
+                f"{', '.join(sorted(EXPERIMENT_MODULES))})")
+        registry[key] = EXPERIMENT_MODULES[key]
+    return registry
+
+
+@dataclasses.dataclass
+class CampaignReport:
+    """What a campaign run produced, plus where the durable state is."""
+
+    run_dir: str
+    journal_path: str
+    tables_path: str
+    tables: str
+    counts: Dict[str, int]
+    degradation: object  # experiments.common.Degradation
+    discarded_journal_lines: int = 0
+    deadline_hit: Optional[str] = None
+
+    @property
+    def complete(self) -> bool:
+        """Every unit has a durable (ok or degraded) entry."""
+        return (self.counts["ok"] + self.counts["degraded"]
+                == self.counts["total"])
+
+    def render(self) -> str:
+        counts = self.counts
+        lines = [
+            f"campaign run: {self.run_dir}",
+            f"journal: {self.journal_path}",
+            f"units: {counts['total']} total — {counts['ok']} ok, "
+            f"{counts['degraded']} degraded, {counts['timeout']} timeout, "
+            f"{counts['failed']} failed, {counts['missing']} not run",
+        ]
+        if self.discarded_journal_lines:
+            lines.append(f"journal: discarded "
+                         f"{self.discarded_journal_lines} corrupt tail "
+                         f"line(s) on resume")
+        if self.deadline_hit:
+            lines.append(f"deadline: {self.deadline_hit}")
+        extra = self.degradation.describe()
+        if extra:
+            lines.append(extra)
+        return "\n".join(lines) + "\n\n" + self.tables
+
+
+class Campaign:
+    """One resumable, deadline-guarded sweep over experiment units."""
+
+    def __init__(self, experiments: Optional[Sequence[str]] = None,
+                 seed: int = 1808, scale: float = 0.25,
+                 run_dir: str = "campaign-run", resume: bool = False,
+                 fraction: Optional[float] = None,
+                 unit_steps: Optional[int] = None,
+                 unit_wall: Optional[float] = None,
+                 deadline: Optional[float] = None,
+                 loss: float = 0.0, fault_seed: int = 0,
+                 retries: Optional[int] = None,
+                 crash_after: Optional[int] = None,
+                 specs: Optional[Mapping[str, object]] = None,
+                 echo_journal: bool = False,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        from ..experiments.common import bench_fraction
+
+        self.registry = (dict(specs) if specs is not None
+                         else _registry(experiments))
+        #: On resume with no explicit experiment list, adopt the
+        #: journal's recorded list rather than demanding a retype.
+        self._adopt_experiments = specs is None and experiments is None
+        self.seed = seed
+        self.scale = scale
+        self.fraction = bench_fraction() if fraction is None else fraction
+        self.run_dir = run_dir
+        self.resume = resume
+        self.unit_steps = unit_steps
+        self.loss = loss
+        self.fault_seed = fault_seed
+        self.retries = retries
+        if crash_after is None:
+            raw = os.environ.get(CRASH_AFTER_ENV)
+            crash_after = int(raw) if raw else None
+        self.crash_after = crash_after
+        self.echo_journal = echo_journal
+        self.watchdog = Watchdog(unit_steps=unit_steps, unit_wall=unit_wall,
+                                 campaign_wall=deadline, clock=clock)
+
+    # ------------------------------------------------------------------
+    # Journal plumbing
+    # ------------------------------------------------------------------
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.run_dir, "journal.jsonl")
+
+    @property
+    def tables_path(self) -> str:
+        return os.path.join(self.run_dir, "tables.txt")
+
+    def _meta(self) -> Dict:
+        return {
+            "type": "meta",
+            "version": JOURNAL_VERSION,
+            "seed": self.seed,
+            "scale": self.scale,
+            "fraction": self.fraction,
+            "experiments": list(self.registry),
+            "loss": self.loss,
+            "fault_seed": self.fault_seed,
+            "retries": self.retries,
+            "unit_steps": self.unit_steps,
+        }
+
+    def _open_journal(self) -> Tuple[Journal, List[Dict], int]:
+        if self.resume:
+            journal, records, discarded = Journal.resume(self.journal_path)
+            if not records or records[0].get("type") != "meta":
+                raise ResumeMismatch(
+                    f"{self.journal_path} has no readable meta record")
+            if self._adopt_experiments:
+                self.registry = _registry(
+                    records[0].get("experiments") or None)
+            self._check_meta(records[0])
+            return journal, records, discarded
+        if os.path.exists(self.journal_path):
+            raise CampaignError(
+                f"{self.journal_path} already exists — pass resume "
+                f"(--resume {self.run_dir}) to continue it, or choose a "
+                f"fresh run directory")
+        journal = Journal.create(self.journal_path)
+        self._append(journal, self._meta())
+        return journal, [], 0
+
+    def _check_meta(self, recorded: Dict) -> None:
+        expected = self._meta()
+        mismatched = [
+            key for key in ("version", "seed", "scale", "fraction",
+                            "experiments", "loss", "fault_seed", "retries",
+                            "unit_steps")
+            if recorded.get(key) != expected[key]
+        ]
+        if mismatched:
+            detail = ", ".join(
+                f"{key}: journal={recorded.get(key)!r} "
+                f"requested={expected[key]!r}" for key in mismatched)
+            raise ResumeMismatch(
+                f"cannot resume {self.journal_path}: {detail}")
+
+    def _append(self, journal: Journal, record: Dict) -> Dict:
+        record = journal.append(record)
+        if self.echo_journal:
+            from .journal import canonical_json
+
+            print(canonical_json(record))
+        return record
+
+    # ------------------------------------------------------------------
+    # Unit execution
+    # ------------------------------------------------------------------
+
+    def _fresh_world(self):
+        """A pristine world per unit: resume-order independence."""
+        from ..isps.world import build_world
+        from ..netsim.faults import DEFAULT_HARDENING, FaultPlan
+
+        world = build_world(seed=self.seed, scale=self.scale)
+        if self.loss:
+            hardening = DEFAULT_HARDENING
+            if self.retries is not None:
+                hardening = dataclasses.replace(
+                    hardening,
+                    dns_attempts=max(1, self.retries),
+                    fetch_attempts=max(1, self.retries))
+            world.install_faults(
+                FaultPlan.uniform_loss(self.loss, seed=self.fault_seed),
+                hardening)
+        return world
+
+    def _run_unit(self, experiment: str, unit: Unit) -> Dict:
+        """Execute one unit; returns its (un-journaled) record."""
+        from ..experiments.common import domain_sample
+
+        record: Dict = {"type": "unit", "experiment": experiment,
+                        "unit": unit.name, "payload": None,
+                        "error": None, "timeout": None}
+        start = time.monotonic()
+        world = self._fresh_world()
+        domains = domain_sample(world, self.fraction)
+        self.watchdog.begin_unit(world.network)
+        try:
+            payload = unit.fn(world, domains)
+        except UnitTimeout as exc:
+            record["status"] = "timeout"
+            record["timeout"] = {"kind": exc.kind, "detail": exc.detail}
+        except Exception as exc:
+            category = classify_error(exc)
+            record["status"] = "failed"
+            record["error"] = {
+                "category": category,
+                "reason": f"{type(exc).__name__}: {exc}",
+            }
+            if category == FATAL:
+                record["steps"] = self.watchdog.end_unit()
+                self._journal_failed_fatal(record)
+                raise
+        else:
+            errors = payload.get("errors") if isinstance(payload, dict) \
+                else None
+            record["status"] = "degraded" if errors else "ok"
+            record["payload"] = payload
+        finally:
+            steps = self.watchdog.end_unit()
+        record["steps"] = steps
+        record["wall"] = round(time.monotonic() - start, 3)
+        return record
+
+    def _journal_failed_fatal(self, record: Dict) -> None:
+        """Best-effort durable note of a fatal crash (then re-raise)."""
+        try:
+            record["wall"] = None
+            self._append(self._journal, record)
+        except Exception:  # pragma: no cover - diagnostics only
+            pass
+
+    # ------------------------------------------------------------------
+    # The run
+    # ------------------------------------------------------------------
+
+    def run(self) -> CampaignReport:
+        os.makedirs(self.run_dir, exist_ok=True)
+        journal, prior, discarded = self._open_journal()
+        self._journal = journal
+        units_by_exp: Dict[str, List[Unit]] = {
+            key: list(module.units())
+            for key, module in self.registry.items()
+        }
+        durable = {
+            (rec["experiment"], rec["unit"])
+            for rec in prior
+            if rec.get("type") == "unit"
+            and rec.get("status") in _DURABLE_STATUSES
+        }
+        resumed = 0
+        executed = 0
+        deadline_hit: Optional[str] = None
+        self.watchdog.start_campaign()
+        for key, units in units_by_exp.items():
+            for unit in units:
+                if (key, unit.name) in durable:
+                    resumed += 1
+                    continue
+                if deadline_hit is None:
+                    try:
+                        self.watchdog.check_campaign()
+                    except CampaignDeadline as exc:
+                        deadline_hit = str(exc)
+                if deadline_hit is not None:
+                    continue
+                record = self._run_unit(key, unit)
+                self._append(journal, record)
+                executed += 1
+                if (self.crash_after is not None
+                        and executed >= self.crash_after):
+                    raise SimulatedCrash(
+                        f"injected crash after {executed} journaled "
+                        f"unit(s) — resume with --resume {self.run_dir}")
+        report = self._finish(units_by_exp, resumed, discarded,
+                              deadline_hit)
+        self._append(journal, {
+            "type": "end",
+            "status": "deadline" if deadline_hit
+            else ("complete" if report.complete else "partial"),
+        })
+        return report
+
+    # ------------------------------------------------------------------
+    # Assembly (always from the journal — the durable source of truth)
+    # ------------------------------------------------------------------
+
+    def _finish(self, units_by_exp, resumed: int, discarded: int,
+                deadline_hit: Optional[str]) -> CampaignReport:
+        from ..experiments.common import Degradation
+
+        records, _ = Journal.load(self.journal_path)
+        latest: Dict[Tuple[str, str], Dict] = {}
+        for rec in records:
+            if rec.get("type") == "unit":
+                latest[(rec["experiment"], rec["unit"])] = rec
+
+        counts = {"total": 0, "ok": 0, "degraded": 0, "timeout": 0,
+                  "failed": 0, "missing": 0}
+        degradation = Degradation(resumed=resumed)
+        for key, units in units_by_exp.items():
+            for unit in units:
+                counts["total"] += 1
+                rec = latest.get((key, unit.name))
+                if rec is None:
+                    counts["missing"] += 1
+                    continue
+                counts[rec["status"]] += 1
+                if rec["status"] == "timeout":
+                    degradation.record_timeout(TimeoutDegradation(
+                        unit=f"{key}:{unit.name}",
+                        kind=rec["timeout"]["kind"],
+                        detail=rec["timeout"]["detail"]))
+                elif rec["status"] == "failed":
+                    degradation.record_error(f"{key}:{unit.name}",
+                                             rec["error"]["reason"])
+                else:
+                    payload = rec["payload"]
+                    degradation.retries += payload.get("retries", 0)
+                    for unit_name, reason in payload.get("errors", ()):
+                        degradation.record_error(unit_name, reason)
+
+        tables = self._assemble(units_by_exp, latest)
+        with open(self.tables_path, "w", encoding="utf-8") as fh:
+            fh.write(tables)
+        return CampaignReport(
+            run_dir=self.run_dir,
+            journal_path=self.journal_path,
+            tables_path=self.tables_path,
+            tables=tables,
+            counts=counts,
+            degradation=degradation,
+            discarded_journal_lines=discarded,
+            deadline_hit=deadline_hit,
+        )
+
+    def _assemble(self, units_by_exp, latest) -> str:
+        from ..experiments.common import format_table
+
+        sections: List[str] = []
+        for key, module in self.registry.items():
+            spec = module.CAMPAIGN
+            headers = list(spec.headers)
+            rows: List[List] = []
+            notes: List[str] = []
+            for unit in units_by_exp[key]:
+                rec = latest.get((key, unit.name))
+                if rec is None:
+                    rows.append(self._pad([unit.name, "(not run)"],
+                                          headers))
+                elif rec["status"] == "timeout":
+                    rows.append(self._pad(
+                        [unit.name,
+                         f"(timeout: {rec['timeout']['detail']})"],
+                        headers))
+                elif rec["status"] == "failed":
+                    rows.append(self._pad(
+                        [unit.name,
+                         f"(failed: {rec['error']['reason']})"],
+                        headers))
+                else:
+                    rows.extend(rec["payload"]["rows"])
+                    notes.extend(rec["payload"].get("notes", ()))
+            section = format_table(headers, rows, title=spec.title)
+            if spec.footer:
+                section += "\n" + spec.footer
+            for note in notes:
+                section += "\n" + note
+            sections.append(section)
+        return "\n\n".join(sections) + "\n"
+
+    @staticmethod
+    def _pad(row: List, headers: List[str]) -> List:
+        return row + ["-"] * (len(headers) - len(row))

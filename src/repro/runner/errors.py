@@ -1,0 +1,117 @@
+"""Structured error taxonomy for campaign orchestration.
+
+Every failure escaping a measurement unit falls into one of three
+categories, unifying the ad-hoc handling that used to live in
+``experiments/common.py``:
+
+``transient``
+    Worth an immediate in-process retry: the fault-injector streams
+    advance between attempts, so a re-run genuinely sees different
+    conditions (a vantage whose first connection raced a link flap).
+
+``degradable``
+    A simulator failure the campaign survives by recording a partial
+    entry — the experiment-level analogue of a vantage that died
+    mid-campaign.  Only :class:`~repro.netsim.errors.NetSimError`
+    (and unit timeouts) qualify.
+
+``fatal``
+    Everything else — programming errors must still crash, loudly, so
+    a journal never papers over a broken experiment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..netsim.errors import ConnectionError_, NetSimError, PortInUseError
+
+#: Taxonomy category names (also the strings stored in journals).
+TRANSIENT = "transient"
+DEGRADABLE = "degradable"
+FATAL = "fatal"
+
+#: How many extra attempts a transient failure earns inside
+#: :func:`repro.experiments.common.run_degradable`.
+TRANSIENT_RETRIES = 1
+
+
+class CampaignError(Exception):
+    """Base class for campaign-runner configuration/state errors."""
+
+
+class JournalError(CampaignError):
+    """A journal file could not be created, read, or verified."""
+
+
+class ResumeMismatch(CampaignError):
+    """A resume was attempted against a journal whose recorded
+    parameters (seed, scale, fraction, experiment set, fault plan)
+    differ from the requested campaign — resuming would silently mix
+    incompatible measurements."""
+
+
+class CampaignDeadline(Exception):
+    """The per-campaign wall-clock budget is exhausted; remaining units
+    stay un-run (and resumable) rather than half-measured."""
+
+
+class UnitTimeout(Exception):
+    """A measurement unit exceeded its deadline budget.
+
+    Raised cooperatively from inside the discrete-event loop by the
+    :class:`~repro.runner.watchdog.Watchdog`; the campaign converts it
+    into a recorded :class:`TimeoutDegradation` entry instead of a
+    stuck process.
+    """
+
+    def __init__(self, kind: str, detail: str) -> None:
+        super().__init__(detail)
+        self.kind = kind
+        self.detail = detail
+
+
+class TransientUnitError(Exception):
+    """Raisable by measurement code to mark a failure explicitly
+    retryable at the unit level."""
+
+
+class SimulatedCrash(RuntimeError):
+    """Fault injection for crash-safety tests: the campaign process
+    "dies" immediately after durably journaling its N-th unit.
+
+    Deliberately not caught anywhere in the runner — it must escape
+    exactly like a ``kill -9`` would end the process.
+    """
+
+
+@dataclass(frozen=True)
+class TimeoutDegradation:
+    """A hang converted into data: one unit's blown deadline budget.
+
+    ``kind`` is ``"sim-steps"``, ``"unit-wall"`` or ``"campaign-wall"``;
+    ``detail`` is deterministic (it names the budget, never the elapsed
+    time) so resumed and uninterrupted runs render identical tables.
+    """
+
+    unit: str
+    kind: str
+    detail: str
+
+    def describe(self) -> str:
+        return f"timeout: {self.unit}: {self.detail}"
+
+
+#: Failures worth an immediate retry (see module docstring).
+TRANSIENT_ERRORS = (TransientUnitError, ConnectionError_, PortInUseError)
+
+
+def classify_error(exc: BaseException) -> str:
+    """Map an exception to its taxonomy category."""
+    if isinstance(exc, UnitTimeout):
+        return DEGRADABLE
+    if isinstance(exc, TRANSIENT_ERRORS):
+        return TRANSIENT
+    if isinstance(exc, NetSimError):
+        return DEGRADABLE
+    return FATAL

@@ -1,0 +1,154 @@
+"""Robustness plumbing in experiments.common: bounded world cache,
+the (ok, value) run_degradable contract, degradation accounting."""
+
+import pytest
+
+from repro.experiments import common
+from repro.experiments.common import (
+    WORLD_CACHE_MAX,
+    Degradation,
+    bench_fraction,
+    clear_world_cache,
+    get_world,
+    run_degradable,
+)
+from repro.netsim.errors import ConnectionError_, NetSimError
+from repro.runner.errors import TimeoutDegradation, TransientUnitError
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    clear_world_cache()
+    yield
+    clear_world_cache()
+
+
+class TestWorldCache:
+    SCALE = 0.05
+
+    def test_hit_returns_same_object(self):
+        first = get_world(seed=1, scale=self.SCALE)
+        assert get_world(seed=1, scale=self.SCALE) is first
+
+    def test_bounded_lru_evicts_oldest(self):
+        worlds = [get_world(seed=seed, scale=self.SCALE)
+                  for seed in range(WORLD_CACHE_MAX + 1)]
+        assert len(common._WORLD_CACHE) == WORLD_CACHE_MAX
+        # Seed 0 (oldest) was evicted: a fresh build, new object.
+        assert get_world(seed=0, scale=self.SCALE) is not worlds[0]
+
+    def test_recent_use_protects_from_eviction(self):
+        first = get_world(seed=0, scale=self.SCALE)
+        for seed in range(1, WORLD_CACHE_MAX):
+            get_world(seed=seed, scale=self.SCALE)
+        get_world(seed=0, scale=self.SCALE)  # refresh recency
+        get_world(seed=WORLD_CACHE_MAX, scale=self.SCALE)  # evicts seed 1
+        assert get_world(seed=0, scale=self.SCALE) is first
+        assert (1, self.SCALE) not in common._WORLD_CACHE
+
+    def test_clear_world_cache(self):
+        get_world(seed=1, scale=self.SCALE)
+        clear_world_cache()
+        assert not common._WORLD_CACHE
+
+
+class TestBenchFraction:
+    def test_default_when_unset(self, monkeypatch):
+        monkeypatch.delenv("REPRO_BENCH_FRACTION", raising=False)
+        assert bench_fraction() == 1.0
+        assert bench_fraction(default=0.3) == 0.3
+
+    def test_valid_value_clamped(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "0.5")
+        assert bench_fraction() == 0.5
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "7")
+        assert bench_fraction() == 1.0
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "0.0001")
+        assert bench_fraction() == 0.01
+
+    def test_invalid_value_warns_and_names_it(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "fast")
+        with pytest.warns(RuntimeWarning,
+                          match="REPRO_BENCH_FRACTION='fast'"):
+            assert bench_fraction(default=0.25) == 0.25
+
+
+class TestRunDegradable:
+    def test_ok_value(self):
+        degradation = Degradation()
+        ok, value = run_degradable(degradation, "u", lambda: 42)
+        assert (ok, value) == (True, 42)
+        assert not degradation.partial
+
+    def test_ok_none_distinguished_from_failure(self):
+        """A unit may legitimately return None; ok tells them apart."""
+        degradation = Degradation()
+        assert run_degradable(degradation, "u", lambda: None) \
+            == (True, None)
+        assert not degradation.errors
+
+        def dies():
+            raise NetSimError("link gone")
+
+        assert run_degradable(degradation, "u", dies) == (False, None)
+        assert degradation.errors == [("u", "NetSimError: link gone")]
+
+    def test_fatal_reraised(self):
+        degradation = Degradation()
+
+        def broken():
+            raise ValueError("programming error")
+
+        with pytest.raises(ValueError):
+            run_degradable(degradation, "u", broken)
+        assert not degradation.errors
+
+    def test_transient_retried_once_then_recorded(self):
+        degradation = Degradation()
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise TransientUnitError("race")
+
+        ok, value = run_degradable(degradation, "u", flaky)
+        assert (ok, value) == (False, None)
+        assert len(calls) == 2  # initial attempt + one retry
+        assert degradation.errors[0][1].startswith("[transient] ")
+
+    def test_transient_retry_can_succeed(self):
+        degradation = Degradation()
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ConnectionError_("first connection raced a flap")
+            return "measured"
+
+        assert run_degradable(degradation, "u", flaky) \
+            == (True, "measured")
+        assert not degradation.errors
+
+
+class TestDegradationDescribe:
+    def test_clean_is_empty(self):
+        assert Degradation().describe() == ""
+
+    def test_all_channels_reported(self):
+        degradation = Degradation(resumed=3, retries=2)
+        degradation.record_timeout(TimeoutDegradation(
+            unit="exp:isp", kind="sim-steps", detail="budget blown"))
+        degradation.record_error("exp:other", "NetSimError: gone")
+        text = degradation.describe()
+        assert "resumed: 3 units from journal" in text
+        assert "degraded: 2 client retries" in text
+        assert "timeout: exp:isp: budget blown" in text
+        assert "partial: exp:other: NetSimError: gone" in text
+
+    def test_partial_ignores_resume_and_retries(self):
+        assert not Degradation(resumed=5, retries=9).partial
+        degradation = Degradation()
+        degradation.record_timeout(TimeoutDegradation("u", "sim-steps",
+                                                      "d"))
+        assert degradation.partial

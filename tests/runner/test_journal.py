@@ -1,0 +1,121 @@
+"""Journal: hash chain, durability, tamper and torn-tail handling."""
+
+import json
+
+import pytest
+
+from repro.runner.journal import (
+    GENESIS,
+    HASH_WIDTH,
+    Journal,
+    canonical_json,
+    chain_hash,
+)
+from repro.runner.errors import JournalError
+
+
+@pytest.fixture
+def path(tmp_path):
+    return str(tmp_path / "journal.jsonl")
+
+
+def _write_some(path, count=3):
+    journal = Journal.create(path)
+    appended = []
+    for index in range(count):
+        appended.append(journal.append({"type": "unit", "n": index}))
+    return appended
+
+
+class TestChain:
+    def test_canonical_json_is_key_sorted(self):
+        assert canonical_json({"b": 1, "a": 2}) == '{"a":2,"b":1}'
+
+    def test_chain_hash_width_and_determinism(self):
+        digest = chain_hash(GENESIS, '{"a":1}')
+        assert len(digest) == HASH_WIDTH
+        assert digest == chain_hash(GENESIS, '{"a":1}')
+        assert digest != chain_hash("elsewhere", '{"a":1}')
+
+    def test_records_chain_from_genesis(self, path):
+        records = _write_some(path)
+        assert records[0]["prev"] == GENESIS
+        assert records[1]["prev"] == records[0]["hash"]
+        assert records[2]["prev"] == records[1]["hash"]
+        assert [rec["seq"] for rec in records] == [0, 1, 2]
+
+
+class TestCreate:
+    def test_refuses_existing(self, path):
+        Journal.create(path)
+        with pytest.raises(JournalError, match="already exists"):
+            Journal.create(path)
+
+    def test_resume_missing(self, path):
+        with pytest.raises(JournalError, match="no journal"):
+            Journal.resume(path)
+
+
+class TestLoad:
+    def test_round_trip(self, path):
+        written = _write_some(path)
+        records, discarded = Journal.load(path)
+        assert records == written
+        assert discarded == 0
+
+    def test_torn_tail_discarded(self, path):
+        _write_some(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write('{"type":"unit","torn')  # no newline: died mid-write
+        records, discarded = Journal.load(path)
+        assert len(records) == 3
+        assert discarded == 1
+
+    def test_tampered_record_cuts_chain(self, path):
+        _write_some(path, count=4)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        doctored = json.loads(lines[1])
+        doctored["n"] = 999  # content no longer matches its hash
+        lines[1] = canonical_json(doctored) + "\n"
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        records, discarded = Journal.load(path)
+        assert len(records) == 1  # everything after the bad line is lost
+        assert discarded == 3
+
+    def test_reordered_records_detected(self, path):
+        _write_some(path, count=3)
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.readlines()
+        lines[1], lines[2] = lines[2], lines[1]
+        with open(path, "w", encoding="utf-8") as fh:
+            fh.writelines(lines)
+        records, _ = Journal.load(path)
+        assert len(records) == 1
+
+
+class TestResume:
+    def test_continues_chain(self, path):
+        written = _write_some(path)
+        journal, records, discarded = Journal.resume(path)
+        assert records == written
+        assert discarded == 0
+        extra = journal.append({"type": "unit", "n": 3})
+        assert extra["seq"] == 3
+        assert extra["prev"] == written[-1]["hash"]
+        reloaded, _ = Journal.load(path)
+        assert len(reloaded) == 4
+
+    def test_truncates_corrupt_tail_physically(self, path):
+        _write_some(path)
+        with open(path, "a", encoding="utf-8") as fh:
+            fh.write("garbage that is not json\n")
+        journal, records, discarded = Journal.resume(path)
+        assert discarded == 1
+        assert len(records) == 3
+        # The bad line is gone from disk and the chain continues cleanly.
+        appended = journal.append({"type": "unit", "n": 3})
+        reloaded, rediscarded = Journal.load(path)
+        assert rediscarded == 0
+        assert reloaded[-1] == appended

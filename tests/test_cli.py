@@ -8,8 +8,12 @@ from repro.cli import EXPERIMENTS, build_parser, main
 class TestParser:
     def test_all_experiments_named(self):
         from repro import experiments
-        for cli_name, attr in EXPERIMENTS.items():
-            assert hasattr(experiments, attr), cli_name
+        assert set(EXPERIMENTS) == set(experiments.EXPERIMENT_MODULES)
+        for cli_name in EXPERIMENTS:
+            module = experiments.EXPERIMENT_MODULES[cli_name]
+            assert hasattr(module, "run"), cli_name
+            assert hasattr(module, "units"), cli_name
+            assert hasattr(module, "CAMPAIGN"), cli_name
 
     def test_requires_command(self):
         with pytest.raises(SystemExit):
