@@ -9,6 +9,7 @@
     python -m repro fetch airtel <domain>    # fetch like a browser
     python -m repro evade idea <domain>      # try every evasion
     python -m repro trace idea <domain>      # iterative network trace
+    python -m repro fuzz --seed 7            # deterministic fuzz campaign
 
 All commands accept ``--scale`` (world size; 1.0 = paper scale) and
 ``--seed``.  Fault injection is available everywhere: ``--loss 0.05``
@@ -22,6 +23,10 @@ after the command.  Experiments additionally honour
 ``<run-dir>/journal.jsonl`` and renders ``<run-dir>/tables.txt`` from
 the journal, so a killed run resumes with ``--resume`` and re-measures
 only missing units — see ``docs/CAMPAIGNS.md``.
+
+``fuzz`` runs the deterministic protocol fuzzer with its differential
+server/middlebox oracle; same seed ⇒ byte-identical journal — see
+``docs/FUZZING.md``.
 """
 
 from __future__ import annotations
@@ -102,6 +107,35 @@ def build_parser() -> argparse.ArgumentParser:
                           help="echo journal records as they are "
                                "appended")
 
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="deterministic protocol fuzzing with a differential "
+             "server/middlebox oracle")
+    fuzz.add_argument("--seed", type=int, default=1808,
+                      help="campaign seed (same seed = byte-identical "
+                           "journal)")
+    fuzz.add_argument("--iterations", type=int, default=2000,
+                      help="iterations per target")
+    fuzz.add_argument("--target", action="append", default=None,
+                      choices=["http", "dns", "tcp", "diff"],
+                      help="fuzz target(s); repeatable (default: all)")
+    fuzz.add_argument("--corpus", default=None, metavar="DIR",
+                      help="extra corpus entries (*.json) merged with "
+                           "the built-in seeds")
+    fuzz.add_argument("--run-dir", default="fuzz-run",
+                      help="directory for fuzz-journal.jsonl")
+    fuzz.add_argument("--resume", action="store_true",
+                      help="continue a killed campaign from its journal "
+                           "instead of starting over")
+    fuzz.add_argument("--checkpoint-every", type=int, default=500,
+                      metavar="N", help="journal a checkpoint every N "
+                                        "iterations")
+    fuzz.add_argument("--emit-fixtures", default=None, metavar="DIR",
+                      help="write minimized reproducers as replayable "
+                           "fixtures into DIR")
+    fuzz.add_argument("--journal", action="store_true",
+                      help="print the journal path and tail after the run")
+
     fetch = sub.add_parser("fetch", parents=[common],
                            help="fetch a domain from inside an ISP")
     fetch.add_argument("isp", choices=sorted(PROFILES))
@@ -127,6 +161,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "fuzz":
+        return _cmd_fuzz(args)
     world = build_world(seed=args.seed, scale=args.scale)
     _install_faults(world, args)
     if args.command == "info":
@@ -229,6 +265,32 @@ def _cmd_campaign(args) -> int:
         raise SystemExit(f"repro: error: {exc}")
     print(report.render())
     return 0 if report.complete else 1
+
+
+def _cmd_fuzz(args) -> int:
+    from .fuzz import FuzzEngine
+    from .runner.errors import JournalError
+
+    try:
+        engine = FuzzEngine(
+            seed=args.seed,
+            iterations=args.iterations,
+            targets=args.target,
+            run_dir=args.run_dir,
+            corpus_dir=args.corpus,
+            checkpoint_every=args.checkpoint_every,
+            fixtures_dir=args.emit_fixtures,
+            resume=args.resume,
+        )
+        report = engine.run()
+    except JournalError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    print(report.render())
+    if args.journal:
+        with open(report.journal_path, "r", encoding="utf-8") as fh:
+            for line in fh:
+                print(line.rstrip("\n"))
+    return 0 if report.findings == 0 else 1
 
 
 def _pick_domain(world, isp: str, domain: Optional[str]) -> Optional[str]:

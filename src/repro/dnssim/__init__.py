@@ -16,7 +16,9 @@ from .message import (
     DNSLookupResult,
     DNSQuery,
     DNSResponse,
+    QidAllocator,
     next_qid,
+    reset_qids,
 )
 from .resolver import (
     PoisonStrategy,
@@ -37,6 +39,7 @@ __all__ = [
     "DNS_PORT",
     "GlobalDNS",
     "PoisonStrategy",
+    "QidAllocator",
     "REGIONS",
     "ResolverConfig",
     "ResolverService",
@@ -46,6 +49,7 @@ __all__ = [
     "first_working_resolver",
     "mixed_poison",
     "next_qid",
+    "reset_qids",
     "resolve_all",
     "static_ip_poison",
 ]

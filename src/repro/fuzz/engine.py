@@ -1,0 +1,277 @@
+"""The fuzz campaign engine: mutate → execute → oracle → minimize.
+
+Determinism contract: a run is a pure function of ``(seed, iterations,
+targets, corpus)``.  Iteration *i* of target *t* derives its own RNG
+from ``(seed, t, i)``, so it does not depend on which iterations ran
+before it — which is what makes a crashed campaign resumable *and*
+byte-identical to an uninterrupted one.  Journal records carry no
+wall-clock fields for the same reason.
+
+Resume truncates the journal back to the last checkpoint and re-runs
+from there; re-executed iterations regenerate exactly the records the
+crashed run would have written.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..runner.errors import JournalError
+from ..runner.journal import Journal, canonical_json
+from .corpus import (
+    TARGETS,
+    decode_entry,
+    encode_entry,
+    load_corpus_dir,
+    seed_corpus,
+    write_fixture,
+)
+from .harness import run_dns_probe, run_tcp_schedule
+from .minimize import minimize
+from .mutators import mutate
+from .oracles import DiffResult, check_http_invariants, diff_http
+from .rng import derive_rng
+
+JOURNAL_NAME = "fuzz-journal.jsonl"
+FORMAT_VERSION = 1
+
+
+@dataclass
+class FuzzReport:
+    """Outcome of one campaign (or one resumed leg of it)."""
+
+    seed: int
+    iterations: int
+    targets: List[str]
+    findings: int = 0
+    per_target: Dict[str, int] = field(default_factory=dict)
+    classes: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    journal_path: str = ""
+    resumed_from: Dict[str, int] = field(default_factory=dict)
+
+    def render(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} iterations={self.iterations} "
+            f"targets={','.join(self.targets)}",
+        ]
+        for target in self.targets:
+            skipped = self.resumed_from.get(target, 0)
+            note = f" (resumed at {skipped})" if skipped else ""
+            lines.append(f"  {target}: {self.per_target.get(target, 0)} "
+                         f"finding(s){note}")
+            for cls, count in sorted(self.classes.get(target, {}).items()):
+                lines.append(f"    known class {cls}: {count}")
+        lines.append(f"total findings: {self.findings}")
+        lines.append(f"journal: {self.journal_path}")
+        return "\n".join(lines)
+
+
+class FuzzEngine:
+    """Drives one deterministic fuzz campaign through the journal."""
+
+    def __init__(
+        self,
+        seed: int = 1808,
+        iterations: int = 2000,
+        targets: Optional[List[str]] = None,
+        *,
+        run_dir: str = "fuzz-run",
+        corpus_dir: Optional[str] = None,
+        checkpoint_every: int = 500,
+        fixtures_dir: Optional[str] = None,
+        resume: bool = False,
+        crash_after_appends: Optional[int] = None,
+    ) -> None:
+        self.seed = seed
+        self.iterations = iterations
+        self.targets = list(targets) if targets else list(TARGETS)
+        for target in self.targets:
+            if target not in TARGETS:
+                raise ValueError(f"unknown fuzz target {target!r}")
+        self.run_dir = run_dir
+        self.corpus_dir = corpus_dir
+        self.checkpoint_every = max(1, checkpoint_every)
+        self.fixtures_dir = fixtures_dir
+        self.resume = resume
+        #: Test hook: raise after N journal appends (simulated crash).
+        self.crash_after_appends = crash_after_appends
+        self._appends = 0
+        self.journal_path = os.path.join(run_dir, JOURNAL_NAME)
+
+    # ------------------------------------------------------------------
+    # Journal lifecycle
+    # ------------------------------------------------------------------
+
+    def _meta_record(self) -> Dict:
+        return {
+            "type": "meta",
+            "kind": "fuzz",
+            "version": FORMAT_VERSION,
+            "seed": self.seed,
+            "iterations": self.iterations,
+            "targets": self.targets,
+        }
+
+    def _open_fresh(self) -> Journal:
+        if os.path.exists(self.journal_path):
+            # Unlike campaign journals, fuzz journals are cheap to
+            # regenerate; a fresh run (no --resume) replaces the old one
+            # so "run twice, compare" workflows need no cleanup step.
+            os.remove(self.journal_path)
+        journal = Journal.create(self.journal_path)
+        self._append(journal, self._meta_record())
+        return journal
+
+    def _open_resume(self) -> Journal:
+        records, _ = Journal.load(self.journal_path)
+        if not records or records[0].get("type") != "meta":
+            raise JournalError(f"{self.journal_path}: not a fuzz journal")
+        meta = records[0]
+        mine = self._meta_record()
+        for key in ("kind", "version", "seed", "iterations", "targets"):
+            if meta.get(key) != mine[key]:
+                raise JournalError(
+                    f"{self.journal_path}: journal was written by a "
+                    f"different campaign ({key}={meta.get(key)!r}, "
+                    f"this run has {mine[key]!r})")
+        # Truncate back to the last checkpoint: iterations after it are
+        # re-run, regenerating byte-identical records (iteration RNG is
+        # position-independent).
+        keep = 1
+        for index, record in enumerate(records):
+            if record.get("type") in ("meta", "checkpoint"):
+                keep = index + 1
+        kept = records[:keep]
+        with open(self.journal_path, "w", encoding="utf-8") as fh:
+            for record in kept:
+                fh.write(canonical_json(record) + "\n")
+        journal = Journal(self.journal_path)
+        journal._prev = kept[-1]["hash"]
+        journal._seq = kept[-1]["seq"] + 1
+        self._resume_records = kept
+        return journal
+
+    def _append(self, journal: Journal, record: Dict) -> None:
+        journal.append(record)
+        self._appends += 1
+        if (self.crash_after_appends is not None
+                and self._appends >= self.crash_after_appends):
+            raise RuntimeError("injected fuzz-engine crash (test hook)")
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self) -> FuzzReport:
+        report = FuzzReport(seed=self.seed, iterations=self.iterations,
+                            targets=self.targets,
+                            journal_path=self.journal_path)
+        self._resume_records: List[Dict] = []
+        if self.resume and os.path.exists(self.journal_path):
+            journal = self._open_resume()
+        else:
+            journal = self._open_fresh()
+
+        state: Dict[str, Dict] = {
+            target: {"done": 0, "findings": 0, "classes": {}}
+            for target in self.targets
+        }
+        for record in self._resume_records:
+            target = record.get("target")
+            if target not in state:
+                continue
+            if record["type"] == "checkpoint":
+                state[target]["done"] = record["done"]
+                state[target]["findings"] = record["findings"]
+                state[target]["classes"] = dict(record["classes"])
+
+        for target in self.targets:
+            done = state[target]["done"]
+            if done:
+                report.resumed_from[target] = done
+            corpus = seed_corpus(target)
+            if self.corpus_dir:
+                corpus = corpus + load_corpus_dir(self.corpus_dir, target)
+            findings = state[target]["findings"]
+            classes = state[target]["classes"]
+            for iteration in range(done, self.iterations):
+                rng = derive_rng(self.seed, target, iteration)
+                entry = mutate(target, rng, corpus)
+                result = self.execute(target, entry)
+                for cls, count in result.classes.items():
+                    classes[cls] = classes.get(cls, 0) + count
+                for oracle, detail in result.violations:
+                    findings += 1
+                    minimized = self._minimize(target, entry, oracle)
+                    self._record_finding(journal, target, iteration,
+                                         oracle, detail, minimized)
+                at_end = iteration + 1 == self.iterations
+                if (iteration + 1) % self.checkpoint_every == 0 or at_end:
+                    self._append(journal, {
+                        "type": "checkpoint",
+                        "target": target,
+                        "done": iteration + 1,
+                        "findings": findings,
+                        "classes": dict(sorted(classes.items())),
+                    })
+            report.per_target[target] = findings
+            report.classes[target] = classes
+            report.findings += findings
+        self._append(journal, {"type": "end", "findings": report.findings})
+        return report
+
+    def execute(self, target: str, entry) -> DiffResult:
+        """Run one entry through its harness; exceptions become
+        findings (the 'no parser raises' oracle)."""
+        try:
+            if target == "http":
+                result = DiffResult()
+                violation = check_http_invariants(entry)
+                if violation is not None:
+                    result.violations.append(violation)
+                return result
+            if target == "diff":
+                return diff_http(entry)
+            if target == "tcp":
+                return run_tcp_schedule(entry)
+            if target == "dns":
+                return run_dns_probe(entry)
+            raise ValueError(f"unknown fuzz target {target!r}")
+        except Exception as exc:  # noqa: BLE001 - the oracle itself
+            result = DiffResult()
+            result.violations.append(
+                ("exception", f"{type(exc).__name__}: {exc}"))
+            return result
+
+    def _minimize(self, target: str, entry, oracle: str):
+        def still_fails(candidate) -> bool:
+            outcome = self.execute(target, candidate)
+            return any(kind == oracle for kind, _ in outcome.violations)
+
+        return minimize(target, entry, still_fails)
+
+    def _record_finding(self, journal: Journal, target: str, iteration: int,
+                        oracle: str, detail: str, minimized) -> None:
+        self._append(journal, {
+            "type": "finding",
+            "target": target,
+            "iteration": iteration,
+            "oracle": oracle,
+            "detail": detail,
+            "entry": encode_entry(target, minimized),
+        })
+        if self.fixtures_dir:
+            write_fixture(self.fixtures_dir, target, minimized,
+                          oracle=oracle, detail=detail)
+
+
+def replay_fixture(payload: Dict) -> DiffResult:
+    """Re-run one fixture dict (as loaded by ``corpus.load_fixture``)."""
+    engine = FuzzEngine(iterations=0)
+    target = payload["target"]
+    entry = payload.get("decoded")
+    if entry is None:
+        entry = decode_entry(target, payload["entry"])
+    return engine.execute(target, entry)

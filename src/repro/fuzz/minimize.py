@@ -1,0 +1,128 @@
+"""Shrink failing fuzz inputs to locally-minimal reproducers.
+
+Classic ddmin over the input's natural granularity — bytes for HTTP
+streams, segments (then segment payloads) for TCP schedules, fields
+for DNS entries.  The predicate is "does this smaller input still
+violate the same oracle"; minimization is deterministic (no RNG) and
+bounded by a predicate-call budget so a pathological finding cannot
+stall the campaign.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Tuple
+
+#: Predicate-call ceiling per finding: minimization is best-effort.
+DEFAULT_BUDGET = 400
+
+
+class _Budget:
+    def __init__(self, limit: int) -> None:
+        self.remaining = limit
+
+    def spend(self) -> bool:
+        if self.remaining <= 0:
+            return False
+        self.remaining -= 1
+        return True
+
+
+def _ddmin(chunks: List, rebuild: Callable, predicate: Callable,
+           budget: _Budget) -> List:
+    """Delta-debugging reduction of *chunks*; *rebuild* makes an input
+    from a chunk list, *predicate* says whether it still fails."""
+    granularity = 2
+    while len(chunks) >= 2:
+        size = max(1, len(chunks) // granularity)
+        reduced = False
+        start = 0
+        while start < len(chunks):
+            candidate = chunks[:start] + chunks[start + size:]
+            if candidate and budget.spend() and predicate(rebuild(candidate)):
+                chunks = candidate
+                granularity = max(granularity - 1, 2)
+                reduced = True
+            else:
+                start += size
+            if budget.remaining <= 0:
+                return chunks
+        if not reduced:
+            if granularity >= len(chunks):
+                break
+            granularity = min(len(chunks), granularity * 2)
+    return chunks
+
+
+def minimize_bytes(data: bytes, predicate: Callable[[bytes], bool],
+                   budget_limit: int = DEFAULT_BUDGET) -> bytes:
+    """Smallest byte string (by ddmin) still satisfying *predicate*."""
+    if not predicate(data):
+        return data
+    budget = _Budget(budget_limit)
+    chunks = [bytes([b]) for b in data]
+    chunks = _ddmin(chunks, b"".join, predicate, budget)
+    return b"".join(chunks)
+
+
+Schedule = List[Tuple[int, bytes]]
+
+
+def minimize_schedule(schedule: Schedule,
+                      predicate: Callable[[Schedule], bool],
+                      budget_limit: int = DEFAULT_BUDGET) -> Schedule:
+    """Drop segments, then shrink each surviving payload."""
+    if not predicate(schedule):
+        return schedule
+    budget = _Budget(budget_limit)
+    schedule = _ddmin(list(schedule), list, predicate, budget)
+    for index in range(len(schedule)):
+        offset, data = schedule[index]
+        if len(data) < 2 or budget.remaining <= 0:
+            continue
+
+        def keeps_failing(smaller: bytes, index=index, offset=offset) -> bool:
+            trial = list(schedule)
+            trial[index] = (offset, smaller)
+            return predicate(trial)
+
+        chunks = [bytes([b]) for b in data]
+        chunks = _ddmin(chunks, b"".join, keeps_failing, budget)
+        schedule[index] = (offset, b"".join(chunks))
+    return schedule
+
+
+def minimize_dns(entry: dict, predicate: Callable[[dict], bool],
+                 budget_limit: int = DEFAULT_BUDGET) -> dict:
+    """Simplify a DNS entry: drop the explicit qid, shorten the qname."""
+    if not predicate(entry):
+        return entry
+    budget = _Budget(budget_limit)
+    if entry.get("qid") is not None and budget.spend():
+        simpler = dict(entry, qid=None)
+        if predicate(simpler):
+            entry = simpler
+    qname = entry.get("qname", "")
+    if len(qname) >= 2:
+
+        def keeps_failing(smaller: bytes) -> bool:
+            return predicate(dict(entry,
+                                  qname=smaller.decode("utf-8",
+                                                       errors="replace")))
+
+        chunks = [bytes([b]) for b in qname.encode("utf-8")]
+        chunks = _ddmin(chunks, b"".join, keeps_failing, budget)
+        entry = dict(entry, qname=b"".join(chunks).decode(
+            "utf-8", errors="replace"))
+    return entry
+
+
+def minimize(target: str, entry, predicate,
+             budget_limit: int = DEFAULT_BUDGET):
+    """Dispatch by fuzz target."""
+    if target in ("http", "diff"):
+        return minimize_bytes(entry, predicate, budget_limit)
+    if target == "tcp":
+        return minimize_schedule(entry, predicate, budget_limit)
+    if target == "dns":
+        return minimize_dns(entry, predicate, budget_limit)
+    raise ValueError(f"unknown fuzz target {target!r}")

@@ -1,0 +1,421 @@
+"""Structured mutators: HTTP streams, DNS queries, TCP schedules.
+
+Mutations operate at the protocol's own boundaries — CRLF lines,
+``name: value`` splits, Host keywords, TCP segment edges — because the
+parsing asymmetry the oracles check lives exactly at those boundaries.
+A purely random bit-flipper would almost never produce a stream both a
+server and a middlebox have opinions about.
+
+Every mutator is a pure function of ``(rng, input)``; the engine
+derives *rng* per iteration, so mutant *i* of a run is a function of
+``(seed, target, i)`` alone.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List, Tuple
+
+from .corpus import DECOY_DOMAIN, FUZZ_DOMAIN
+
+CRLF = b"\r\n"
+
+#: Bytes worth inserting: framing, separators, exotic whitespace the
+#: server's ``str.strip`` eats but byte-level matchers do not.
+_INTERESTING = [b"\x00", b"\r", b"\n", b"\r\n", b":", b" ", b"\t",
+                b"\x0b", b"\x0c", b"\xa0", b"a", b"/", b"H"]
+
+_WS = [b" ", b"  ", b"\t", b" \t", b"\x0b", b"\x0c", b"\xa0", b"   "]
+
+
+# ---------------------------------------------------------------------------
+# HTTP stream mutators
+# ---------------------------------------------------------------------------
+
+def _lines(data: bytes) -> List[bytes]:
+    return data.split(CRLF)
+
+
+def _unlines(lines: List[bytes]) -> bytes:
+    return CRLF.join(lines)
+
+
+def _host_line_indexes(lines: List[bytes]) -> List[int]:
+    found = []
+    for index, line in enumerate(lines):
+        name = line.partition(b":")[0]
+        if name.strip().lower() == b"host":
+            found.append(index)
+    return found
+
+
+def mut_host_keyword_case(rng: random.Random, data: bytes) -> bytes:
+    """Randomize the case of a Host keyword (HOst, hOST, ...)."""
+    lines = _lines(data)
+    targets = _host_line_indexes(lines)
+    if not targets:
+        return data
+    index = rng.choice(targets)
+    name, colon, rest = lines[index].partition(b":")
+    fudged = bytes(
+        (char ^ 0x20) if rng.random() < 0.5 and chr(char).isalpha() else char
+        for char in name
+    )
+    lines[index] = fudged + colon + rest
+    return _unlines(lines)
+
+
+def mut_keyword_padding(rng: random.Random, data: bytes) -> bytes:
+    """Whitespace around the Host keyword itself (``Host :``)."""
+    lines = _lines(data)
+    targets = _host_line_indexes(lines)
+    if not targets:
+        return data
+    index = rng.choice(targets)
+    name, colon, rest = lines[index].partition(b":")
+    pad = rng.choice(_WS)
+    if rng.random() < 0.5:
+        name = name + pad
+    else:
+        name = pad + name
+    lines[index] = name + colon + rest
+    return _unlines(lines)
+
+
+def mut_value_whitespace(rng: random.Random, data: bytes) -> bytes:
+    """Whitespace before/after the Host value."""
+    lines = _lines(data)
+    targets = _host_line_indexes(lines)
+    if not targets:
+        return data
+    index = rng.choice(targets)
+    name, colon, rest = lines[index].partition(b":")
+    value = rest.strip(b" \t")
+    pre = rng.choice(_WS)
+    post = rng.choice([b""] + _WS)
+    lines[index] = name + colon + pre + value + post
+    return _unlines(lines)
+
+
+def mut_swap_host_domain(rng: random.Random, data: bytes) -> bytes:
+    """Swap the Host value between blocked / www.blocked / decoy."""
+    lines = _lines(data)
+    targets = _host_line_indexes(lines)
+    if not targets:
+        return data
+    index = rng.choice(targets)
+    name, colon, _ = lines[index].partition(b":")
+    domain = rng.choice([FUZZ_DOMAIN, f"www.{FUZZ_DOMAIN}", DECOY_DOMAIN,
+                         FUZZ_DOMAIN.upper()])
+    lines[index] = name + colon + b" " + domain.encode("latin-1")
+    return _unlines(lines)
+
+
+def mut_duplicate_line(rng: random.Random, data: bytes) -> bytes:
+    """Duplicate one line (Host lines preferred)."""
+    lines = _lines(data)
+    if len(lines) < 2:
+        return data
+    targets = _host_line_indexes(lines) or list(range(len(lines) - 1))
+    index = rng.choice(targets)
+    lines.insert(index, lines[index])
+    return _unlines(lines)
+
+
+def mut_append_decoy_host(rng: random.Random, data: bytes) -> bytes:
+    """The covert-IM trailing pseudo-request, or an inline decoy."""
+    decoy = f"Host: {DECOY_DOMAIN}".encode("latin-1")
+    if rng.random() < 0.5:
+        return data + decoy + b"\r\n\r\n"
+    lines = _lines(data)
+    lines.insert(rng.randrange(max(1, len(lines))), decoy)
+    return _unlines(lines)
+
+
+def mut_bare_lf(rng: random.Random, data: bytes) -> bytes:
+    """Replace one CRLF with a bare LF (or CR)."""
+    spots = [i for i in range(len(data) - 1)
+             if data[i:i + 2] == CRLF]
+    if not spots:
+        return data
+    spot = rng.choice(spots)
+    repl = rng.choice([b"\n", b"\r"])
+    return data[:spot] + repl + data[spot + 2:]
+
+
+def mut_insert_byte(rng: random.Random, data: bytes) -> bytes:
+    """Insert an interesting byte at a random position."""
+    pos = rng.randrange(len(data) + 1)
+    return data[:pos] + rng.choice(_INTERESTING) + data[pos:]
+
+
+def mut_delete_span(rng: random.Random, data: bytes) -> bytes:
+    """Remove a short random span."""
+    if len(data) < 2:
+        return data
+    start = rng.randrange(len(data))
+    length = rng.randint(1, min(8, len(data) - start))
+    return data[:start] + data[start + length:]
+
+
+def mut_truncate(rng: random.Random, data: bytes) -> bytes:
+    """Cut the stream short (mid-line, mid-header, anywhere)."""
+    if len(data) < 2:
+        return data
+    return data[:rng.randrange(1, len(data))]
+
+
+def mut_double_terminator(rng: random.Random, data: bytes) -> bytes:
+    """Repeat a CRLFCRLF — creates empty pipelined units."""
+    spot = data.find(b"\r\n\r\n")
+    if spot < 0:
+        return data
+    return data[:spot] + b"\r\n\r\n" + data[spot:]
+
+
+def mut_garbage_line(rng: random.Random, data: bytes) -> bytes:
+    """Insert a non-header garbage line."""
+    lines = _lines(data)
+    junk = bytes(rng.randrange(33, 127) for _ in range(rng.randint(1, 12)))
+    lines.insert(rng.randrange(max(1, len(lines))), junk)
+    return _unlines(lines)
+
+
+def mut_blowup_value(rng: random.Random, data: bytes) -> bytes:
+    """Grow one header value past the 64 KiB hardening limit."""
+    lines = _lines(data)
+    candidates = [i for i, line in enumerate(lines) if b":" in line]
+    if not candidates:
+        return data
+    index = rng.choice(candidates)
+    name, colon, rest = lines[index].partition(b":")
+    lines[index] = name + colon + rest + b"a" * rng.choice([1024, 70_000])
+    return _unlines(lines)
+
+
+def mut_many_headers(rng: random.Random, data: bytes) -> bytes:
+    """Grow the header count past the hardening limit."""
+    head, sep, tail = data.partition(b"\r\n\r\n")
+    if not sep:
+        return data
+    extra = b"\r\n".join(b"X-F%d: y" % i for i in range(rng.choice([8, 300])))
+    return head + b"\r\n" + extra + sep + tail
+
+
+def mut_splice(rng: random.Random, data: bytes, corpus: List[bytes]) -> bytes:
+    """Concatenate with another corpus entry (pipelining)."""
+    other = corpus[rng.randrange(len(corpus))]
+    return (data + other) if rng.random() < 0.5 else (other + data)
+
+
+HTTP_MUTATORS: List[Callable] = [
+    mut_host_keyword_case,
+    mut_keyword_padding,
+    mut_value_whitespace,
+    mut_swap_host_domain,
+    mut_duplicate_line,
+    mut_append_decoy_host,
+    mut_bare_lf,
+    mut_insert_byte,
+    mut_delete_span,
+    mut_truncate,
+    mut_double_terminator,
+    mut_garbage_line,
+    mut_blowup_value,
+    mut_many_headers,
+]
+
+
+def mutate_http(rng: random.Random, corpus: List[bytes]) -> bytes:
+    """One HTTP mutant: a corpus pick put through 1–3 mutations."""
+    data = corpus[rng.randrange(len(corpus))]
+    for _ in range(rng.randint(1, 3)):
+        if rng.random() < 0.15:
+            data = mut_splice(rng, data, corpus)
+        else:
+            data = rng.choice(HTTP_MUTATORS)(rng, data)
+    # Bound pathological growth so oracles stay fast.
+    return data[:1 << 17]
+
+
+# ---------------------------------------------------------------------------
+# DNS query mutators
+# ---------------------------------------------------------------------------
+
+def mutate_dns(rng: random.Random, corpus: List[dict]) -> dict:
+    """One DNS mutant: qname/resolver/qid perturbations."""
+    entry = dict(corpus[rng.randrange(len(corpus))])
+    qname = entry["qname"]
+    for _ in range(rng.randint(1, 2)):
+        choice = rng.randrange(9)
+        if choice == 0:     # case flips
+            qname = "".join(
+                ch.upper() if rng.random() < 0.5 else ch for ch in qname)
+        elif choice == 1:   # trailing dot / stray dots
+            qname = qname + rng.choice([".", "..", ".in."])
+        elif choice == 2:   # www churn
+            qname = qname[4:] if qname.startswith("www.") else "www." + qname
+        elif choice == 3:   # overlong label
+            qname = "l" * rng.choice([63, 64, 200]) + "." + qname
+        elif choice == 4:   # embedded separators / controls
+            pos = rng.randrange(len(qname) + 1)
+            qname = qname[:pos] + rng.choice([" ", "\x00", "\t", "-", "_",
+                                              "é"]) + qname[pos:]
+        elif choice == 5:   # empty / near-empty
+            qname = rng.choice(["", ".", "in"])
+        elif choice == 6:   # switch resolver
+            entry["resolver"] = ("poisoned"
+                                 if entry["resolver"] == "honest"
+                                 else "honest")
+        elif choice == 7:   # explicit qid, including out-of-range
+            entry["qid"] = rng.choice([0, 1, 0xFFFF, 0x10000, 0x1FFFF])
+        else:               # whole-name replacement
+            qname = rng.choice([FUZZ_DOMAIN, DECOY_DOMAIN,
+                                "unknown-%d.example" % rng.randrange(10)])
+    entry["qname"] = qname[:512]
+    return entry
+
+
+# ---------------------------------------------------------------------------
+# TCP schedule mutators
+# ---------------------------------------------------------------------------
+
+Schedule = List[Tuple[int, bytes]]
+
+
+def _boundary_points(data: bytes) -> List[int]:
+    """Interesting split offsets: CRLFs, the Host keyword, colons."""
+    points = set()
+    for token in (CRLF, b"Host", b":"):
+        start = 0
+        while True:
+            found = data.find(token, start)
+            if found < 0:
+                break
+            points.add(found)
+            points.add(found + len(token))
+            start = found + 1
+    return sorted(p for p in points if 0 < p < len(data))
+
+
+def sched_split(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Split one segment (boundary-aware half the time)."""
+    index = rng.randrange(len(schedule))
+    offset, data = schedule[index]
+    if len(data) < 2:
+        return schedule
+    points = _boundary_points(data)
+    if points and rng.random() < 0.5:
+        cut = rng.choice(points)
+    else:
+        cut = rng.randrange(1, len(data))
+    return (schedule[:index]
+            + [(offset, data[:cut]), (offset + cut, data[cut:])]
+            + schedule[index + 1:])
+
+
+def sched_swap(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Reorder two adjacent segments."""
+    if len(schedule) < 2:
+        return schedule
+    index = rng.randrange(len(schedule) - 1)
+    out = list(schedule)
+    out[index], out[index + 1] = out[index + 1], out[index]
+    return out
+
+
+def sched_duplicate(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Retransmit a segment verbatim."""
+    index = rng.randrange(len(schedule))
+    out = list(schedule)
+    out.insert(rng.randrange(len(out) + 1), schedule[index])
+    return out
+
+
+def sched_stale_retransmit(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Retransmit a segment with *different* bytes at the same seq —
+    only one copy can win at the server; a per-packet matcher sees
+    both."""
+    index = rng.randrange(len(schedule))
+    offset, data = schedule[index]
+    if not data:
+        return schedule
+    forged = (b"Host: " + FUZZ_DOMAIN.encode("latin-1")
+              + b"\r\n")[:len(data)].ljust(len(data), b"x")
+    out = list(schedule)
+    out.insert(rng.randrange(len(out) + 1), (offset, forged))
+    return out
+
+
+def sched_drop(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Lose one segment (leaves a gap the stack never fills)."""
+    if len(schedule) < 2:
+        return schedule
+    index = rng.randrange(len(schedule))
+    return schedule[:index] + schedule[index + 1:]
+
+
+def sched_overlap(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Shift one segment's seq back by a few bytes (partial overlap)."""
+    index = rng.randrange(len(schedule))
+    offset, data = schedule[index]
+    shift = rng.randint(1, 4)
+    out = list(schedule)
+    out[index] = (max(0, offset - shift), data)
+    return out
+
+
+def sched_garble(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Corrupt a few bytes inside one segment."""
+    index = rng.randrange(len(schedule))
+    offset, data = schedule[index]
+    if not data:
+        return schedule
+    buf = bytearray(data)
+    for _ in range(rng.randint(1, 3)):
+        buf[rng.randrange(len(buf))] = rng.randrange(256)
+    out = list(schedule)
+    out[index] = (offset, bytes(buf))
+    return out
+
+
+def sched_merge(rng: random.Random, schedule: Schedule) -> Schedule:
+    """Coalesce two adjacent-in-stream segments into one."""
+    for index in range(len(schedule) - 1):
+        off_a, data_a = schedule[index]
+        off_b, data_b = schedule[index + 1]
+        if off_a + len(data_a) == off_b:
+            return (schedule[:index] + [(off_a, data_a + data_b)]
+                    + schedule[index + 2:])
+    return schedule
+
+
+TCP_MUTATORS: List[Callable] = [
+    sched_split, sched_split,      # weighted: splits open up the space
+    sched_swap,
+    sched_duplicate,
+    sched_stale_retransmit,
+    sched_drop,
+    sched_overlap,
+    sched_garble,
+    sched_merge,
+]
+
+
+def mutate_tcp(rng: random.Random, corpus: List[Schedule]) -> Schedule:
+    """One TCP mutant: a schedule put through 1–4 segment operations."""
+    schedule = list(corpus[rng.randrange(len(corpus))])
+    for _ in range(rng.randint(1, 4)):
+        schedule = rng.choice(TCP_MUTATORS)(rng, schedule)
+    return schedule[:64]
+
+
+def mutate(target: str, rng: random.Random, corpus: List):
+    """Dispatch by target name."""
+    if target in ("http", "diff"):
+        return mutate_http(rng, corpus)
+    if target == "dns":
+        return mutate_dns(rng, corpus)
+    if target == "tcp":
+        return mutate_tcp(rng, corpus)
+    raise ValueError(f"unknown fuzz target {target!r}")

@@ -14,6 +14,13 @@ from typing import List, Optional, Tuple
 
 _KNOWN_METHODS = {"GET", "HEAD", "POST", "PUT", "DELETE", "OPTIONS", "TRACE"}
 
+#: Hard limits the fuzzer drove in: pathological inputs are classified
+#: as ``malformed`` (the server answers 400) instead of being parsed at
+#: unbounded cost or crashing an experiment mid-campaign.
+MAX_UNIT_BYTES = 1 << 20          # one request unit, head included
+MAX_HEADER_VALUE_BYTES = 64 << 10  # any single header value
+MAX_HEADER_COUNT = 256
+
 
 @dataclass
 class ParsedRequest:
@@ -70,8 +77,31 @@ def split_request_units(stream: bytes) -> List[bytes]:
 
 
 def parse_request_unit(raw: bytes) -> ParsedRequest:
-    """Parse one request unit leniently (RFC 2616 server behaviour)."""
+    """Parse one request unit leniently (RFC 2616 server behaviour).
+
+    Lenient does not mean unbounded: adversarial inputs surfaced by
+    ``repro.fuzz`` (NUL bytes, bare-LF line endings, oversized or
+    uncountably many headers, empty units) are *classified* — the
+    request parses to ``malformed=<reason>`` and the server answers
+    400 — rather than being half-parsed or raising mid-experiment.
+    """
     request = ParsedRequest(raw=raw)
+    if len(raw) > MAX_UNIT_BYTES:
+        request.malformed = "oversized-unit"
+        return request
+    if not raw.strip(b"\r\n\t "):
+        # CRLF-only / whitespace-only streams produce empty units.
+        request.malformed = "empty-unit"
+        return request
+    if b"\x00" in raw:
+        request.malformed = "nul-byte"
+        return request
+    if b"\n" in raw.replace(b"\r\n", b""):
+        # A bare LF (no preceding CR): strict CRLF framing only —
+        # accepting it would silently change which bytes count as a
+        # Host line relative to the CRLF-scanning middleboxes.
+        request.malformed = "bare-lf-line"
+        return request
     text = raw.decode("latin-1", errors="replace")
     lines = text.split("\r\n")
     request_line = lines[0].strip()
@@ -95,6 +125,12 @@ def parse_request_unit(raw: bytes) -> ParsedRequest:
         name, colon, value = line.partition(":")
         if not colon:
             request.malformed = "bad-header-line"
+            return request
+        if len(value) > MAX_HEADER_VALUE_BYTES:
+            request.malformed = "oversized-header-value"
+            return request
+        if len(request.headers) >= MAX_HEADER_COUNT:
+            request.malformed = "too-many-headers"
             return request
         # RFC 2616: field names are case-insensitive tokens; any amount
         # of leading/trailing LWS around the value is semantically

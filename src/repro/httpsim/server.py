@@ -13,7 +13,7 @@ from typing import Callable, Dict, Optional
 
 from ..netsim.devices import Host
 from ..netsim.errors import ConnectionError_
-from ..netsim.tcp import TCPApp, TCPConnection
+from ..netsim.tcp import CLOSE_WAIT, ESTABLISHED, TCPApp, TCPConnection
 from .message import HTTPResponse, make_response
 from .parsing import ParsedRequest, parse_request_unit, split_request_units
 
@@ -100,6 +100,19 @@ class _ServerConnectionApp(TCPApp):
         remainder = units[-1] if incomplete_tail else b""
         self._buffer = bytearray(remainder)
         for unit in complete:
+            if conn.state not in (ESTABLISHED, CLOSE_WAIT):
+                # Units arriving in the same batch as a Connection:
+                # close request are still answered (close is deferred
+                # to the end of the batch — the covert-IM trailing 400
+                # depends on it), but once FIN is actually sent a later
+                # segment's units would crash conn.send() — a crafted
+                # stream the fuzzer found.  Real servers stop reading
+                # after close; we log and drop.
+                now = conn.network.now if conn.network is not None else 0.0
+                self.server.error_log.append(
+                    (now, conn.remote_ip, "late-unit-dropped")
+                )
+                continue
             request = parse_request_unit(unit)
             self.server.request_log.append(
                 (conn.remote_ip, unit, request)
@@ -109,7 +122,7 @@ class _ServerConnectionApp(TCPApp):
             wants_close = (request.header("Connection") or "").lower() == "close"
             if wants_close or request.malformed is not None:
                 self._close_requested = True
-        if self._close_requested:
+        if self._close_requested and conn.state in (ESTABLISHED, CLOSE_WAIT):
             conn.close()
 
     def on_fin(self, conn: TCPConnection) -> None:

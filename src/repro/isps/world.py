@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..dnssim.message import reset_qids
 from ..dnssim.resolver import ResolverConfig, ResolverService
 from ..dnssim.zones import GlobalDNS
 from ..httpsim.server import OriginServer
@@ -106,6 +107,13 @@ class World:
         ips.append(self.google_dns.ip)
         return ips
 
+    def reset_qids(self, start: int = 1) -> None:
+        """Restart the DNS query-id sequence this world's lookups draw
+        from.  ``build_world`` already calls this, so a freshly built
+        world issues the same qid stream regardless of what ran before
+        it — fuzz runs and test order can't change qids."""
+        reset_qids(start)
+
     def install_faults(self, plan: FaultPlan,
                        hardening: Optional[HardeningPolicy] = None,
                        ) -> FaultInjector:
@@ -124,6 +132,11 @@ def build_world(
     if isp_names is None:
         isp_names = list(PROFILES)
     isp_names = _close_over_upstreams(isp_names)
+
+    # Fresh worlds start from a pristine qid sequence: the qids any
+    # lookup sees depend only on the world's own traffic, never on
+    # whatever ran earlier in the process.
+    reset_qids()
 
     network = Network()
     global_dns = GlobalDNS()

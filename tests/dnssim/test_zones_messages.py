@@ -4,9 +4,11 @@ from repro.dnssim import (
     DNSQuery,
     DNSResponse,
     GlobalDNS,
+    QidAllocator,
     REGIONS,
     ZoneRecord,
     next_qid,
+    reset_qids,
 )
 
 
@@ -55,6 +57,33 @@ class TestMessages:
     def test_qids_unique(self):
         ids = {next_qid() for _ in range(100)}
         assert len(ids) == 100
+
+    def test_reset_qids_makes_sequence_reproducible(self):
+        reset_qids()
+        first = [next_qid() for _ in range(5)]
+        reset_qids()
+        assert [next_qid() for _ in range(5)] == first
+
+    def test_reset_qids_custom_start_and_wrap(self):
+        reset_qids(0xFFFE)
+        assert [next_qid() for _ in range(4)] == [0xFFFE, 0xFFFF, 0, 1]
+        reset_qids()
+
+    def test_private_allocator_independent_of_default(self):
+        own = QidAllocator(start=100)
+        before = next_qid()
+        assert own.next() == 100
+        assert own.next() == 101
+        # Drawing from a private allocator never advances the default.
+        assert next_qid() == before + 1
+        own.reset(7)
+        assert own.next() == 7
+
+    def test_query_default_qids_follow_reset(self):
+        reset_qids(42)
+        query = DNSQuery(qname="a.example")
+        assert query.qid == 42
+        reset_qids()
 
     def test_query_defaults(self):
         query = DNSQuery(qname="a.example")

@@ -1,0 +1,131 @@
+"""Engine: determinism, resumability, minimization, journaling."""
+
+import json
+import os
+
+import pytest
+
+from repro.fuzz import FuzzEngine
+from repro.fuzz.minimize import minimize_bytes, minimize_schedule
+from repro.runner.journal import Journal
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+def test_same_seed_byte_identical_journals(tmp_path):
+    report_a = FuzzEngine(seed=3, iterations=40,
+                          run_dir=str(tmp_path / "a")).run()
+    report_b = FuzzEngine(seed=3, iterations=40,
+                          run_dir=str(tmp_path / "b")).run()
+    assert _read(report_a.journal_path) == _read(report_b.journal_path)
+
+
+def test_journal_chain_verifies_and_has_no_clock(tmp_path):
+    report = FuzzEngine(seed=3, iterations=25, targets=["http", "diff"],
+                        run_dir=str(tmp_path)).run()
+    records, discarded = Journal.load(report.journal_path)
+    assert discarded == 0
+    assert records[0]["type"] == "meta"
+    assert records[-1]["type"] == "end"
+    for record in records:
+        for key in ("time", "timestamp", "wall", "now"):
+            assert key not in record
+
+
+def test_campaign_finds_zero_on_hardened_stack(tmp_path):
+    report = FuzzEngine(seed=9, iterations=120,
+                        run_dir=str(tmp_path)).run()
+    assert report.findings == 0
+    # The differential oracle must actually be exercising the catalog,
+    # not trivially agreeing.
+    assert report.classes["diff"]
+
+
+def test_resume_after_crash_is_byte_identical(tmp_path):
+    straight = FuzzEngine(seed=5, iterations=30, targets=["http", "diff"],
+                          run_dir=str(tmp_path / "straight"),
+                          checkpoint_every=10).run()
+
+    crashed_dir = str(tmp_path / "crashed")
+    engine = FuzzEngine(seed=5, iterations=30, targets=["http", "diff"],
+                        run_dir=crashed_dir, checkpoint_every=10,
+                        crash_after_appends=4)
+    with pytest.raises(RuntimeError, match="injected"):
+        engine.run()
+
+    resumed = FuzzEngine(seed=5, iterations=30, targets=["http", "diff"],
+                         run_dir=crashed_dir, checkpoint_every=10,
+                         resume=True).run()
+    assert _read(straight.journal_path) == _read(resumed.journal_path)
+    assert resumed.resumed_from  # it genuinely skipped finished work
+
+
+def test_resume_refuses_foreign_journal(tmp_path):
+    from repro.runner.errors import JournalError
+
+    FuzzEngine(seed=5, iterations=5, targets=["http"],
+               run_dir=str(tmp_path)).run()
+    with pytest.raises(JournalError, match="different campaign"):
+        FuzzEngine(seed=6, iterations=5, targets=["http"],
+                   run_dir=str(tmp_path), resume=True).run()
+
+
+def test_fresh_run_overwrites_stale_journal(tmp_path):
+    first = FuzzEngine(seed=5, iterations=5, targets=["http"],
+                       run_dir=str(tmp_path)).run()
+    stale = _read(first.journal_path)
+    second = FuzzEngine(seed=5, iterations=5, targets=["http"],
+                        run_dir=str(tmp_path)).run()
+    assert _read(second.journal_path) == stale
+
+
+def test_findings_are_minimized_and_fixtures_emitted(tmp_path):
+    # Sabotage the engine with an artificial oracle to prove the
+    # minimize-and-journal path works end to end: any entry containing
+    # "X" fails, so the minimizer must shrink to a single byte.
+    class Sabotaged(FuzzEngine):
+        def execute(self, target, entry):
+            from repro.fuzz.oracles import DiffResult
+            result = DiffResult()
+            if isinstance(entry, bytes) and b"X" in entry:
+                result.violations.append(("sabotage", "contains X"))
+            return result
+
+    fixtures = str(tmp_path / "fixtures")
+    engine = Sabotaged(seed=2, iterations=60, targets=["http"],
+                       run_dir=str(tmp_path / "run"), fixtures_dir=fixtures)
+    report = engine.run()
+    assert report.findings > 0
+    records, _ = Journal.load(report.journal_path)
+    findings = [r for r in records if r["type"] == "finding"]
+    assert findings
+    for record in findings:
+        assert bytes.fromhex(record["entry"]["data"]) == b"X"
+    emitted = os.listdir(fixtures)
+    assert emitted
+    payload = json.load(open(os.path.join(fixtures, emitted[0])))
+    assert payload["oracle"] == "sabotage"
+
+
+def test_minimize_bytes_is_minimal_and_deterministic():
+    predicate = lambda data: b"Host" in data
+    seed = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+    first = minimize_bytes(seed, predicate)
+    second = minimize_bytes(seed, predicate)
+    assert first == second == b"Host"
+
+
+def test_minimize_schedule_drops_irrelevant_segments():
+    predicate = lambda sched: any(b"Host" in data for _, data in sched)
+    schedule = [(0, b"aaaa"), (4, b"Host: x"), (11, b"bbbb")]
+    out = minimize_schedule(schedule, predicate)
+    assert len(out) == 1
+    assert b"Host" in out[0][1]
+
+
+def test_rejects_unknown_target(tmp_path):
+    with pytest.raises(ValueError):
+        FuzzEngine(targets=["smtp"], run_dir=str(tmp_path))

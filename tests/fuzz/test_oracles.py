@@ -1,0 +1,160 @@
+"""Oracles: invariants hold on sane input, classifiers name each
+documented asymmetry, violations stay empty for the whole catalog."""
+
+import pytest
+
+from repro.fuzz import (
+    DISCIPLINES,
+    FUZZ_DOMAIN,
+    check_http_invariants,
+    diff_http,
+)
+from repro.fuzz.corpus import DECOY_DOMAIN, seed_corpus
+from repro.fuzz.harness import model_reassembly, run_dns_probe, run_tcp_schedule
+from repro.httpsim.message import GetRequestSpec
+
+
+def canonical(domain=FUZZ_DOMAIN) -> bytes:
+    return GetRequestSpec(domain=domain).to_bytes()
+
+
+# -- invariants -------------------------------------------------------------
+
+def test_invariants_hold_on_seed_corpus():
+    for data in seed_corpus("http"):
+        assert check_http_invariants(data) is None
+
+
+def test_invariants_hold_on_garbage():
+    for data in (b"", b"\x00" * 40, b"\r\n" * 30, b"GET", b"::::\r\n\r\n"):
+        assert check_http_invariants(data) is None
+
+
+# -- differential oracle ----------------------------------------------------
+
+def test_canonical_request_agrees_everywhere():
+    result = diff_http(canonical())
+    assert result.violations == []
+    assert result.classes == {}
+
+
+def test_decoy_request_agrees_everywhere():
+    result = diff_http(canonical(DECOY_DOMAIN))
+    assert result.violations == []
+    assert result.classes == {}
+
+
+@pytest.mark.parametrize("payload,expected", [
+    (f"GET / HTTP/1.1\r\nHOst: {FUZZ_DOMAIN}\r\n\r\n", "keyword-case"),
+    (f"GET / HTTP/1.1\r\nHost:  {FUZZ_DOMAIN}\r\n\r\n", "value-whitespace"),
+    (f"GET / HTTP/1.1\r\nHost: www.{FUZZ_DOMAIN}\r\n\r\n", "www-alias"),
+    (f"GET / HTTP/1.1\r\nHost : {FUZZ_DOMAIN}\r\n\r\n", "keyword-padding"),
+    (f"GET / HTTP/1.1\r\nHost:\x0c{FUZZ_DOMAIN}\r\n\r\n",
+     "value-exotic-whitespace"),
+])
+def test_known_evasions_classify_cleanly(payload, expected):
+    result = diff_http(payload.encode("latin-1"))
+    assert result.violations == []
+    assert expected in result.classes
+
+
+def test_trailing_decoy_is_last_host_decoy():
+    stream = (canonical() + f"Host: {DECOY_DOMAIN}\r\n\r\n".encode())
+    result = diff_http(stream)
+    assert result.violations == []
+    assert "last-host-decoy" in result.classes
+
+
+def test_duplicate_host_overmatch_classified():
+    payload = (f"GET / HTTP/1.1\r\nHost: {DECOY_DOMAIN}\r\n"
+               f"Host: {FUZZ_DOMAIN}\r\n\r\n").encode("latin-1")
+    result = diff_http(payload)
+    assert result.violations == []
+    assert "duplicate-host-400" in result.classes
+
+
+def test_blocked_host_in_malformed_unit_classified():
+    payload = f"Host: {FUZZ_DOMAIN}\r\n\r\n".encode("latin-1")
+    result = diff_http(payload)
+    assert result.violations == []
+    assert "matched-malformed-unit" in result.classes
+
+
+def test_disciplines_mirror_deployed_specs():
+    # The oracle's catalog must cover the disciplines isps.builder
+    # actually deploys, or the differential result is meaningless.
+    wiretap = DISCIPLINES["wiretap"]
+    assert wiretap.exact_keyword_case and not wiretap.strict_value_whitespace
+    overt = DISCIPLINES["overt-im"]
+    assert overt.strict_value_whitespace and overt.match_www_alias
+    covert = DISCIPLINES["covert-im"]
+    assert covert.inspect_last_host_only and covert.match_www_alias
+
+
+# -- tcp harness ------------------------------------------------------------
+
+def test_model_reassembly_matches_documented_semantics():
+    stream, accepted = model_reassembly(
+        [(0, b"abc"), (3, b"def"), (2, b"XYZ"), (9, b"zz"), (6, b"ghi")])
+    assert stream == b"abcdefghi"
+    assert accepted == [True, True, False, False, True]
+
+
+def test_whole_request_single_segment_agrees():
+    result = run_tcp_schedule([(0, canonical())])
+    assert result.violations == []
+    assert result.classes == {}
+
+
+def test_fragmented_get_classifies_as_fragmentation():
+    data = canonical()
+    schedule = [(off, data[off:off + 8]) for off in range(0, len(data), 8)]
+    result = run_tcp_schedule(schedule)
+    assert result.violations == []
+    assert "fragmentation" in result.classes
+
+
+def test_stale_retransmission_classified():
+    data = canonical(DECOY_DOMAIN)
+    decoy_line = b"Host: " + FUZZ_DOMAIN.encode("latin-1") + b"\r\n"
+    result = run_tcp_schedule([(0, data), (0, decoy_line)])
+    assert result.violations == []
+    assert "stale-retransmission-match" in result.classes
+
+
+def test_segment_boundary_truncation_classified():
+    head = b"GET / HTTP/1.1\r\nHost: " + FUZZ_DOMAIN.encode("latin-1")
+    result = run_tcp_schedule([(0, head), (len(head), b"x.org\r\n\r\n")])
+    assert result.violations == []
+    assert "segment-boundary-host" in result.classes
+
+
+def test_late_pipelined_unit_no_longer_crashes():
+    # The regression the fuzzer drove into httpsim.server: a pipelined
+    # request arriving after the Connection:-close FIN crashed
+    # conn.send().  It must now be dropped, not raised.
+    first = canonical()
+    result = run_tcp_schedule([(0, first), (len(first), canonical(DECOY_DOMAIN))])
+    assert result.violations == []
+
+
+# -- dns harness ------------------------------------------------------------
+
+def test_dns_blocked_name_is_resolver_poisoning():
+    result = run_dns_probe({"qname": FUZZ_DOMAIN, "resolver": "poisoned",
+                            "qid": None})
+    assert result.violations == []
+    assert result.classes == {"resolver-poisoning": 1}
+
+
+def test_dns_decoy_name_agrees():
+    result = run_dns_probe({"qname": DECOY_DOMAIN, "resolver": "honest",
+                            "qid": None})
+    assert result.violations == []
+    assert result.classes == {}
+
+
+def test_dns_explicit_qid_echoed():
+    result = run_dns_probe({"qname": DECOY_DOMAIN, "resolver": "honest",
+                            "qid": 0x1FFFF})
+    assert result.violations == []

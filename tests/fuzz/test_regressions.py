@@ -1,0 +1,51 @@
+"""Replay the committed fuzz reproducers in ``tests/fixtures/fuzz``.
+
+Every fixture is a minimized input that once crashed a parser, escaped
+classification, or witnesses a documented evasion class.  Replaying
+them asserts the whole corpus stays green: no violations, and any
+expected classification still fires.
+"""
+
+import glob
+import os
+
+import pytest
+
+from repro.fuzz import load_fixture, replay_fixture
+
+FIXTURE_DIR = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "fixtures", "fuzz")
+FIXTURES = sorted(glob.glob(os.path.join(FIXTURE_DIR, "*.json")))
+
+
+def test_fixture_corpus_is_committed():
+    assert len(FIXTURES) >= 10, "the regression corpus went missing"
+
+
+@pytest.mark.parametrize("path", FIXTURES,
+                         ids=[os.path.basename(p) for p in FIXTURES])
+def test_fixture_replays_clean(path):
+    fixture = load_fixture(path)
+    result = replay_fixture(fixture)
+    assert result.violations == [], (
+        f"{os.path.basename(path)} regressed: {result.violations}")
+    expected = fixture.get("classification")
+    if expected and expected in ("keyword-case", "keyword-padding",
+                                 "value-exotic-whitespace",
+                                 "last-host-decoy", "duplicate-host-400",
+                                 "segment-boundary-host",
+                                 "resolver-poisoning"):
+        assert expected in result.classes, (
+            f"{os.path.basename(path)}: expected class {expected!r} "
+            f"no longer reported ({result.classes})")
+
+
+def test_fixture_dir_usable_as_corpus(tmp_path):
+    # A triaged reproducer doubles as a corpus seed: `repro fuzz
+    # --corpus tests/fixtures/fuzz` must fuzz *around* past findings.
+    from repro.fuzz import FuzzEngine
+
+    report = FuzzEngine(seed=4, iterations=30, targets=["diff"],
+                        run_dir=str(tmp_path),
+                        corpus_dir=FIXTURE_DIR).run()
+    assert report.findings == 0

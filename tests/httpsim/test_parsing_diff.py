@@ -77,6 +77,38 @@ class TestParseUnit:
         raw = b"GET / HTTP/1.1\r\nHost: a.com\r\nbroken line\r\n\r\n"
         assert parse_request_unit(raw).malformed == "bad-header-line"
 
+    def test_nul_byte_classified(self):
+        raw = b"GET / HTTP/1.1\r\nHost: x.com\x00\r\n\r\n"
+        assert parse_request_unit(raw).malformed == "nul-byte"
+
+    def test_bare_lf_line_classified(self):
+        raw = b"GET / HTTP/1.1\nHost: x.com\n\n"
+        assert parse_request_unit(raw).malformed == "bare-lf-line"
+
+    def test_crlf_only_stream_is_empty_unit(self):
+        assert parse_request_unit(b"\r\n\r\n").malformed == "empty-unit"
+        assert parse_request_unit(b"").malformed == "empty-unit"
+
+    def test_oversized_header_value_classified(self):
+        raw = (b"GET / HTTP/1.1\r\nHost: x.com\r\nX-Big: "
+               + b"a" * ((64 << 10) + 1) + b"\r\n\r\n")
+        assert parse_request_unit(raw).malformed == "oversized-header-value"
+
+    def test_value_at_limit_still_parses(self):
+        # The limit counts the raw value bytes, LWS included.
+        raw = (b"GET / HTTP/1.1\r\nHost: x.com\r\nX-Big: "
+               + b"a" * ((64 << 10) - 1) + b"\r\n\r\n")
+        assert parse_request_unit(raw).malformed is None
+
+    def test_header_count_bomb_classified(self):
+        headers = b"".join(b"X-%d: y\r\n" % i for i in range(300))
+        raw = b"GET / HTTP/1.1\r\nHost: x.com\r\n" + headers + b"\r\n"
+        assert parse_request_unit(raw).malformed == "too-many-headers"
+
+    def test_oversized_unit_classified(self):
+        raw = b"GET / HTTP/1.1\r\nHost: x.com\r\n" + b"y" * (1 << 20)
+        assert parse_request_unit(raw).malformed == "oversized-unit"
+
     def test_parse_stream_multiple(self):
         raw = (GetRequestSpec(domain="a.com").to_bytes()
                + b"Host: b.com\r\n\r\n")

@@ -63,3 +63,31 @@ class TestCommands:
         assert main(["trace", "idea", "--scale", "0.15"]) == 0
         out = capsys.readouterr().out
         assert "middlebox at hop" in out
+
+    def test_fuzz_small_campaign(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "fuzz")
+        assert main(["fuzz", "--seed", "7", "--iterations", "15",
+                     "--run-dir", run_dir]) == 0
+        out = capsys.readouterr().out
+        assert "total findings: 0" in out
+        assert "fuzz-journal.jsonl" in out
+
+    def test_fuzz_single_target_and_resume(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "fuzz")
+        assert main(["fuzz", "--seed", "7", "--iterations", "10",
+                     "--target", "http", "--run-dir", run_dir]) == 0
+        # Resuming a finished campaign re-runs nothing and stays green.
+        assert main(["fuzz", "--seed", "7", "--iterations", "10",
+                     "--target", "http", "--run-dir", run_dir,
+                     "--resume"]) == 0
+        out = capsys.readouterr().out
+        assert "resumed at 10" in out
+
+    def test_fuzz_journal_echo(self, capsys, tmp_path):
+        run_dir = str(tmp_path / "fuzz")
+        assert main(["fuzz", "--seed", "3", "--iterations", "5",
+                     "--target", "dns", "--run-dir", run_dir,
+                     "--journal"]) == 0
+        out = capsys.readouterr().out
+        assert '"type":"meta"' in out
+        assert '"type":"end"' in out

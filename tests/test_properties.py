@@ -99,6 +99,73 @@ class TestHTTPRoundtrips:
         assert parsed.host == domain
 
 
+class TestFuzzRoundtrips:
+    """The invariants the fuzzing campaign enforces, as properties."""
+
+    @given(st.lists(
+        st.tuples(domains,
+                  st.sampled_from(["Host", "HOst", "HOST", "host"]),
+                  st.sampled_from(["", " ", "  ", "\t"]),
+                  st.sampled_from(["", " ", "  "])),
+        min_size=1, max_size=4))
+    def test_serialize_split_parse_recovers_every_request(self, specs):
+        """A pipelined stream of crafted requests splits back into
+        exactly its units, each recovering method, path and Host."""
+        from repro.httpsim import split_request_units
+
+        stream = b""
+        for domain, keyword, pre, post in specs:
+            stream += GetRequestSpec(domain=domain, host_keyword=keyword,
+                                     host_pre_space=pre,
+                                     host_post_space=post).to_bytes()
+        units = split_request_units(stream)
+        assert b"".join(units) == stream
+        assert len(units) == len(specs)
+        for unit, (domain, _, _, _) in zip(units, specs):
+            parsed = parse_request_unit(unit)
+            assert parsed.malformed is None
+            assert parsed.method == "GET"
+            assert parsed.path == "/"
+            assert parsed.host == domain
+
+    @given(st.binary(max_size=300))
+    def test_invariant_oracle_total_on_arbitrary_bytes(self, data):
+        """check_http_invariants never raises and never reports a
+        violation on any byte stream: the split/parse layer is total."""
+        from repro.fuzz import check_http_invariants
+
+        assert check_http_invariants(data) is None
+
+    @given(st.sampled_from([
+        "HOst: {d}", "HOST: {d}", "Host:  {d}", "Host: {d} ",
+        "Host:\t{d}", "Host : {d}", "Host:\x0b{d}", "Host:\x0c{d}",
+        "Host: www.{d}",
+    ]))
+    def test_evasion_transforms_classify_to_known_classes_only(self, form):
+        """Every documented evasion transform of the canonical request
+        yields zero differential violations — the disagreement is
+        always named by a known class."""
+        from repro.fuzz import FUZZ_DOMAIN, diff_http
+
+        host_line = form.format(d=FUZZ_DOMAIN)
+        payload = (f"GET / HTTP/1.1\r\n{host_line}\r\n"
+                   f"Connection: close\r\n\r\n").encode("latin-1")
+        result = diff_http(payload)
+        assert result.violations == []
+
+    @given(st.integers(min_value=0), st.integers(min_value=0),
+           st.integers(min_value=0, max_value=9))
+    def test_fuzz_rng_is_stable_and_label_sensitive(self, seed, iteration,
+                                                    salt):
+        from repro.fuzz import derive_seed
+
+        assert derive_seed(seed, "http", iteration) == \
+            derive_seed(seed, "http", iteration)
+        assert derive_seed(seed, "http", iteration) != \
+            derive_seed(seed, "tcp", iteration)
+        assert 0 <= derive_seed(seed, salt) < (1 << 64)
+
+
 class TestTriggerProperties:
     @given(domains, st.booleans(), st.booleans(), st.booleans())
     def test_canonical_request_always_triggers_blocklisted(
