@@ -7,6 +7,8 @@ probe throughput, and resolver-scan throughput.  Unlike the experiment
 benches these run multiple rounds for stable statistics.
 """
 
+import time
+
 import pytest
 
 from repro.core.measure import canonical_payload, express_http_probe
@@ -82,3 +84,47 @@ def test_express_dns_probe_throughput(benchmark, perf_world):
 
     answered = benchmark.pedantic(resolve_all, rounds=3, iterations=1)
     assert answered == len(domains)
+
+
+def test_fib_speedup_express_probe(perf_world):
+    """Acceptance check: the FIB fast path buys >=2x on express probes.
+
+    The same sweep as the throughput bench, timed once with the
+    forwarding caches on (warm) and once with
+    ``routing_cache_enabled = False`` — which routes every probe
+    through the seed implementation, bypassing the FIB, the path
+    cache, and the express box memo.
+    """
+    world = perf_world
+    client = world.client_of("idea")
+    domains = world.corpus.domains()
+    payloads = [(world.hosting.ip_for(d, "in"), canonical_payload(d))
+                for d in domains]
+    network = world.network
+
+    def sweep():
+        censored = 0
+        for ip, payload in payloads:
+            verdict = express_http_probe(network, client, ip, payload)
+            censored += verdict.censored
+        return censored
+
+    def timed():
+        start = time.perf_counter()
+        censored = sweep()
+        return time.perf_counter() - start, censored
+
+    sweep()  # warm the FIB, path cache, and box memo
+    fast = min(timed() for _ in range(3))
+    assert network.routing_cache_enabled
+    network.routing_cache_enabled = False
+    try:
+        slow = min(timed() for _ in range(2))
+    finally:
+        network.routing_cache_enabled = True  # perf_world is shared
+    assert fast[1] == slow[1], "cached and uncached verdicts diverged"
+    speedup = slow[0] / fast[0]
+    assert speedup >= 2.0, (
+        f"FIB fast path only {speedup:.2f}x over the seed routing "
+        f"(cached {fast[0] * 1e3:.1f} ms vs uncached "
+        f"{slow[0] * 1e3:.1f} ms)")

@@ -1,0 +1,117 @@
+"""Record and gate the simulator's performance trajectory.
+
+``BENCH_simulator.json`` (committed at the repository root) holds the
+median ns/op of every case in ``bench_simulator_performance.py``.  CI
+re-measures on every push and fails only on a **>2x regression** —
+shared-runner jitter makes tighter gates flaky, but an order-of-2 slide
+in the forwarding plane is a real bug, not noise.
+
+Usage::
+
+    # produce the pytest-benchmark JSON at small scale
+    pytest benchmarks/bench_simulator_performance.py \
+        --benchmark-json=bench-raw.json
+
+    # convert it into (or refresh) the committed baseline
+    python benchmarks/perf_trajectory.py record bench-raw.json \
+        BENCH_simulator.json
+
+    # compare a fresh measurement against the committed baseline
+    python benchmarks/perf_trajectory.py check bench-raw.json \
+        BENCH_simulator.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Fail ``check`` only when current/baseline exceeds this factor.
+DEFAULT_MAX_REGRESSION = 2.0
+
+
+def load_cases(pytest_benchmark_json: str) -> dict:
+    """{case name: median ns/op} from pytest-benchmark's output."""
+    with open(pytest_benchmark_json, "r", encoding="utf-8") as fh:
+        raw = json.load(fh)
+    cases = {}
+    for bench in raw.get("benchmarks", []):
+        median_s = bench["stats"]["median"]
+        cases[bench["name"]] = round(median_s * 1e9, 1)
+    if not cases:
+        raise SystemExit(f"{pytest_benchmark_json}: no benchmarks found")
+    return cases
+
+
+def record(args: argparse.Namespace) -> int:
+    cases = load_cases(args.raw)
+    payload = {
+        "note": ("median ns/op per benchmark case; refresh with "
+                 "benchmarks/perf_trajectory.py record"),
+        "bench_file": "benchmarks/bench_simulator_performance.py",
+        "cases": {name: cases[name] for name in sorted(cases)},
+    }
+    with open(args.baseline, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    for name in sorted(cases):
+        print(f"  {name}: {cases[name] / 1e6:.2f} ms/op")
+    print(f"wrote {len(cases)} case(s) to {args.baseline}")
+    return 0
+
+
+def check(args: argparse.Namespace) -> int:
+    current = load_cases(args.raw)
+    with open(args.baseline, "r", encoding="utf-8") as fh:
+        baseline = json.load(fh)["cases"]
+    failures = []
+    for name in sorted(set(baseline) | set(current)):
+        if name not in baseline:
+            print(f"  NEW      {name} (no baseline — run `record`)")
+            continue
+        if name not in current:
+            print(f"  MISSING  {name} (in baseline, not measured)")
+            continue
+        ratio = current[name] / baseline[name]
+        verdict = "ok"
+        if ratio > args.max_regression:
+            verdict = "REGRESSED"
+            failures.append((name, ratio))
+        print(f"  {verdict:9s}{name}: {current[name] / 1e6:.2f} ms/op "
+              f"({ratio:.2f}x baseline)")
+    if failures:
+        worst = max(failures, key=lambda item: item[1])
+        print(f"FAIL: {len(failures)} case(s) slower than "
+              f"{args.max_regression:.1f}x baseline "
+              f"(worst: {worst[0]} at {worst[1]:.2f}x)")
+        return 1
+    print(f"all {len(current)} case(s) within "
+          f"{args.max_regression:.1f}x of baseline")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_record = sub.add_parser("record", help="write/refresh the baseline")
+    p_record.add_argument("raw", help="pytest-benchmark JSON output")
+    p_record.add_argument("baseline", help="baseline file to write")
+    p_record.set_defaults(fn=record)
+
+    p_check = sub.add_parser("check", help="compare against the baseline")
+    p_check.add_argument("raw", help="pytest-benchmark JSON output")
+    p_check.add_argument("baseline", help="committed baseline file")
+    p_check.add_argument("--max-regression", type=float,
+                         default=DEFAULT_MAX_REGRESSION,
+                         help="failure threshold as current/baseline "
+                              "ratio (default %(default)s)")
+    p_check.set_defaults(fn=check)
+
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

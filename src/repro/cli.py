@@ -103,6 +103,12 @@ def build_parser() -> argparse.ArgumentParser:
                           metavar="N",
                           help="simulated-event budget per unit "
                                "(deterministic timeout)")
+    campaign.add_argument("--workers", type=int, default=1, metavar="N",
+                          help="execute units in N worker processes; "
+                               "results are committed to the journal "
+                               "in canonical unit order, so output is "
+                               "byte-identical to --workers 1 "
+                               "(default: 1)")
     campaign.add_argument("--journal", action="store_true",
                           help="echo journal records as they are "
                                "appended")
@@ -259,6 +265,7 @@ def _cmd_campaign(args) -> int:
             fault_seed=args.fault_seed,
             retries=args.retries,
             echo_journal=args.journal,
+            workers=args.workers,
         )
         report = campaign.run()
     except CampaignError as exc:

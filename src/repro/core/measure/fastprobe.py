@@ -17,8 +17,9 @@ tests in ``tests/measure/test_fastprobe_equivalence.py``.
 
 from __future__ import annotations
 
+import weakref
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ...dnssim.message import DNSQuery, DNSResponse
 from ...dnssim.resolver import ResolverService
@@ -55,12 +56,44 @@ class ExpressVerdict:
 NOT_CENSORED = ExpressVerdict(censored=False)
 
 
+#: Per-network memo of :func:`middleboxes_along`:
+#: network -> (topology_generation, {(client, dst_ip, src_ip): boxes}).
+#: Weakly keyed so discarded worlds release their cache, and stamped
+#: with the generation so any topology/middlebox change retires it.
+_BOX_CACHE: "weakref.WeakKeyDictionary[Network, Tuple[int, Dict]]" = \
+    weakref.WeakKeyDictionary()
+
+
 def middleboxes_along(network: Network, client: Host, dst_ip: str,
                       client_ip: Optional[str] = None) -> List[tuple]:
-    """(hop, box) pairs on the ECMP path, in traversal order."""
+    """(hop, box) pairs on the ECMP path, in traversal order.
+
+    Cached per (client, destination, source address) until the
+    network's topology generation moves.  Callers must treat the
+    returned list as read-only — both express probe flavours only
+    iterate it.  Setting ``network.routing_cache_enabled = False``
+    bypasses the memo (equivalence tests and benchmarks).
+    """
+    client_ip = client_ip or client.ip
+    if not network.routing_cache_enabled:
+        return _walk_middleboxes(network, client, dst_ip, client_ip)
+    generation = network.topology_generation
+    entry = _BOX_CACHE.get(network)
+    if entry is None or entry[0] != generation:
+        entry = (generation, {})
+        _BOX_CACHE[network] = entry
+    key = (client.name, dst_ip, client_ip)
+    found = entry[1].get(key)
+    if found is None:
+        found = _walk_middleboxes(network, client, dst_ip, client_ip)
+        entry[1][key] = found
+    return found
+
+
+def _walk_middleboxes(network: Network, client: Host, dst_ip: str,
+                      client_ip: str) -> List[tuple]:
     try:
-        path = network.path_to(client, dst_ip,
-                               src_ip=client_ip or client.ip)
+        path = network.path_to(client, dst_ip, src_ip=client_ip)
     except RoutingError:
         return []
     found = []

@@ -81,12 +81,21 @@ class Router(Node):
         self.inline_middlebox = middlebox
         middlebox.attach(self)
         self.anonymized = True
+        self._middleboxes_changed()
 
     def attach_tap(self, middlebox) -> None:
         """Install a wiretap middlebox receiving copies of all traffic."""
         self.taps.append(middlebox)
         middlebox.attach(self)
         self.anonymized = True
+        self._middleboxes_changed()
+
+    def _middleboxes_changed(self) -> None:
+        # Middlebox placement is part of what path-derived caches (the
+        # express probing layer's in particular) summarize; moving the
+        # topology generation retires them.
+        if self.network is not None:
+            self.network.invalidate_routing_caches()
 
     @property
     def middleboxes(self) -> List[object]:

@@ -42,6 +42,19 @@ from .packets import Packet, make_time_exceeded
 #: Default one-way link delay in (virtual) seconds.
 DEFAULT_LINK_DELAY = 0.005
 
+#: Newest drop records kept in :attr:`Network.drops` (the list exists
+#: for tests and forensics; statistics come from the incremental
+#: counter, which is never truncated).  Long fuzz/campaign runs with
+#: faults enabled would otherwise grow the list without bound.
+DROPS_KEPT_MAX = 100_000
+
+#: Size guards for the routing fast-path caches.  The key spaces are
+#: bounded by the address plan of a single world, so these limits only
+#: matter for pathological synthetic workloads; hitting one clears the
+#: cache (correctness is unaffected — entries are pure memoization).
+ECMP_HASH_CACHE_MAX = 1 << 20
+PATH_CACHE_MAX = 1 << 18
+
 #: Inline middlebox verdicts.
 FORWARD = "forward"
 DROP = "drop"
@@ -74,10 +87,29 @@ class Network:
         self.ip_owner: Dict[str, Node] = {}
         self.now: float = 0.0
         self.drops: List[Tuple[float, str, Packet]] = []
+        #: Drops not retained in :attr:`drops` once the list is full.
+        self.drops_truncated = 0
+        self._drop_counter: Counter = Counter()
         self._queue: List[Tuple[float, int, Callable, tuple]] = []
         self._seq = itertools.count()
         self._dist_cache: Dict[str, Dict[str, float]] = {}
         self._events_processed = 0
+        #: Monotonic counter bumped on every topology/addressing change;
+        #: all derived routing state (distances, FIB, paths) is valid
+        #: only for the generation it was computed under.
+        self._generation = 0
+        #: dst node name -> {node name -> sorted ECMP candidate names}.
+        self._fib: Dict[str, Dict[str, List[str]]] = {}
+        #: (src_ip, dst_ip, node name) -> crc32 — the flow-key memo for
+        #: :func:`_ecmp_hash` (topology-independent, never invalidated).
+        self._ecmp_hash_cache: Dict[Tuple[Optional[str], str, str], int] = {}
+        #: (node name, dst_ip, src_ip) -> tuple of path Nodes.
+        self._path_cache: Dict[Tuple[str, str, Optional[str]],
+                               Tuple[Node, ...]] = {}
+        #: Escape hatch for equivalence tests and benchmarks: when
+        #: False, :meth:`next_hop`/:meth:`path_to` recompute from the
+        #: graph every call (the seed implementation, byte for byte).
+        self.routing_cache_enabled = True
         #: Installed by :meth:`install_faults`; ``None`` means a perfect
         #: network — the seed repo's behaviour, byte for byte.
         self.faults: Optional[FaultInjector] = None
@@ -110,6 +142,23 @@ class Network:
     # Topology construction
     # ------------------------------------------------------------------
 
+    @property
+    def topology_generation(self) -> int:
+        """Current topology/addressing generation (cache epoch).
+
+        Consumers caching anything derived from the topology — paths,
+        forwarding tables, middlebox placements — key it on this value
+        and recompute when it moves.
+        """
+        return self._generation
+
+    def invalidate_routing_caches(self) -> None:
+        """Advance the generation and drop all derived routing state."""
+        self._generation += 1
+        self._dist_cache.clear()
+        self._fib.clear()
+        self._path_cache.clear()
+
     def add_node(self, node: Node) -> Node:
         """Attach a host or router to the network."""
         if node.name in self.nodes:
@@ -119,7 +168,7 @@ class Network:
         self.graph.add_node(node.name)
         for ip in node.ips:
             self.register_ip(ip, node)
-        self._dist_cache.clear()
+        self.invalidate_routing_caches()
         return node
 
     def add_host(self, name: str, ip: str, asn: int = 0) -> Host:
@@ -145,6 +194,11 @@ class Network:
                 f"IP {ip} already owned by {existing.name}, "
                 f"cannot assign to {node.name}"
             )
+        if existing is None:
+            # A new destination address invalidates path caches (the
+            # FIB itself is keyed per owner *node* and unaffected).
+            self._generation += 1
+            self._path_cache.clear()
         self.ip_owner[ip] = node
 
     def link(self, a: str, b: str, delay: float = DEFAULT_LINK_DELAY) -> None:
@@ -153,7 +207,7 @@ class Network:
             if name not in self.nodes:
                 raise UnknownNodeError(f"unknown node: {name}")
         self.graph.add_edge(a, b, delay=delay)
-        self._dist_cache.clear()
+        self.invalidate_routing_caches()
 
     def node(self, name: str) -> Node:
         try:
@@ -184,24 +238,36 @@ class Network:
     def run(self, until: Optional[float] = None, max_events: int = 20_000_000) -> int:
         """Process events until the queue drains or *until* is reached.
 
-        Returns the number of events processed by this call.
+        Returns the number of events processed by this call.  At most
+        *max_events* events execute: the budget check runs *before*
+        each event, so a blown budget raises with exactly *max_events*
+        executed, never one more.
         """
         processed = 0
-        while self._queue:
-            when = self._queue[0][0]
-            if until is not None and when > until:
-                break
-            when, _, fn, args = heapq.heappop(self._queue)
-            self.now = max(self.now, when)
-            fn(*args)
-            processed += 1
-            self._events_processed += 1
-            if self.step_hook is not None:
-                self.step_hook()
-            if processed > max_events:
-                raise SimulationError(
-                    f"event budget exceeded ({max_events}); likely a packet loop"
-                )
+        # Hot loop: hoist attribute lookups that are invariant across
+        # the run (the step hook is armed/disarmed only between runs).
+        queue = self._queue
+        pop = heapq.heappop
+        hook = self.step_hook
+        try:
+            while queue:
+                when = queue[0][0]
+                if until is not None and when > until:
+                    break
+                if processed >= max_events:
+                    raise SimulationError(
+                        f"event budget exceeded ({max_events}); "
+                        f"likely a packet loop"
+                    )
+                when, _, fn, args = pop(queue)
+                if when > self.now:
+                    self.now = when
+                fn(*args)
+                processed += 1
+                if hook is not None:
+                    hook()
+        finally:
+            self._events_processed += processed
         if until is not None and self.now < until:
             self.now = until
         return processed
@@ -228,31 +294,85 @@ class Network:
             self._dist_cache[dst_name] = cached
         return cached
 
+    def _ecmp_candidates(self, node_name: str, dist: Dict[str, float]
+                         ) -> List[str]:
+        """Sorted equal-cost next-hop names from *node_name* (seed
+        algorithm, shared by the FIB builder and the uncached path)."""
+        best_cost = None
+        candidates: List[str] = []
+        for neighbor in self.graph.neighbors(node_name):
+            neighbor_dist = dist.get(neighbor)
+            if neighbor_dist is None:
+                continue
+            cost = self.graph.edges[node_name, neighbor]["delay"] + neighbor_dist
+            if best_cost is None or cost < best_cost - 1e-12:
+                best_cost = cost
+                candidates = [neighbor]
+            elif abs(cost - best_cost) <= 1e-12:
+                candidates.append(neighbor)
+        candidates.sort()
+        return candidates
+
+    def _fib_for(self, dst_name: str) -> Dict[str, List[str]]:
+        """The forwarding table toward *dst_name*, built on first use.
+
+        One pass over every (reachable node, incident edge) pair — the
+        same asymptotic cost as the Dijkstra sweep that feeds it — then
+        every subsequent ``next_hop`` toward this destination is a pair
+        of dict lookups.  Invalidated wholesale by
+        :meth:`invalidate_routing_caches`.
+        """
+        table = self._fib.get(dst_name)
+        if table is None:
+            dist = self._distances_to(dst_name)
+            table = {
+                name: self._ecmp_candidates(name, dist)
+                for name in dist
+            }
+            self._fib[dst_name] = table
+        return table
+
+    def _flow_hash(self, src_ip: Optional[str], dst_ip: str,
+                   node_name: str) -> int:
+        """Memoized :func:`_ecmp_hash` for one flow key at one node."""
+        cache = self._ecmp_hash_cache
+        key = (src_ip, dst_ip, node_name)
+        digest = cache.get(key)
+        if digest is None:
+            if len(cache) >= ECMP_HASH_CACHE_MAX:
+                cache.clear()
+            digest = _ecmp_hash(src_ip, dst_ip, node_name)
+            cache[key] = digest
+        return digest
+
     def next_hop(self, from_node: Node, dst_ip: str,
                  src_ip: Optional[str] = None) -> Optional[Node]:
         """ECMP next hop from *from_node* toward *dst_ip*, or None."""
         owner = self.ip_owner.get(dst_ip)
         if owner is None or owner is from_node:
             return None
-        dist = self._distances_to(owner.name)
-        here = dist.get(from_node.name)
-        if here is None:
-            return None
-        best_cost = None
-        candidates: List[str] = []
-        for neighbor in self.graph.neighbors(from_node.name):
-            neighbor_dist = dist.get(neighbor)
-            if neighbor_dist is None:
-                continue
-            cost = self.graph.edges[from_node.name, neighbor]["delay"] + neighbor_dist
-            if best_cost is None or cost < best_cost - 1e-12:
-                best_cost = cost
-                candidates = [neighbor]
-            elif abs(cost - best_cost) <= 1e-12:
-                candidates.append(neighbor)
+        if not self.routing_cache_enabled:
+            return self._next_hop_uncached(from_node, dst_ip, src_ip, owner)
+        candidates = self._fib_for(owner.name).get(from_node.name)
         if not candidates:
             return None
-        candidates.sort()
+        digest = self._flow_hash(src_ip, dst_ip, from_node.name)
+        return self.nodes[candidates[digest % len(candidates)]]
+
+    def _next_hop_uncached(self, from_node: Node, dst_ip: str,
+                           src_ip: Optional[str], owner: Node
+                           ) -> Optional[Node]:
+        """The seed implementation: recompute candidates every call.
+
+        Kept as the reference the FIB fast path is property-tested
+        against (``routing_cache_enabled = False`` routes through it).
+        """
+        dist = self._distances_to(owner.name)
+        if dist.get(from_node.name) is None:
+            return None
+        candidates = self._ecmp_candidates(from_node.name, dist)
+        if not candidates:
+            return None
         choice = _ecmp_hash(src_ip, dst_ip, from_node.name) % len(candidates)
         return self.nodes[candidates[choice]]
 
@@ -264,9 +384,18 @@ class Network:
         paths match the paths that node's packets actually take.  Used
         by the express probing layer; equivalence with packet-by-packet
         forwarding is covered by property tests.
+
+        Successful walks are cached per ``(node, dst_ip, src_ip)`` until
+        the topology generation moves; callers get a fresh list every
+        time, so mutating the result never corrupts the cache.
         """
         if src_ip is None and from_node.ips:
             src_ip = from_node.ip
+        if self.routing_cache_enabled:
+            key = (from_node.name, dst_ip, src_ip)
+            cached = self._path_cache.get(key)
+            if cached is not None:
+                return list(cached)
         owner = self.ip_owner.get(dst_ip)
         if owner is None:
             raise RoutingError(f"no node owns {dst_ip}")
@@ -274,6 +403,10 @@ class Network:
         current = from_node
         for _ in range(max_hops):
             if current is owner:
+                if self.routing_cache_enabled:
+                    if len(self._path_cache) >= PATH_CACHE_MAX:
+                        self._path_cache.clear()
+                    self._path_cache[key] = tuple(path)
                 return path
             nxt = self.next_hop(current, dst_ip, src_ip)
             if nxt is None:
@@ -310,8 +443,18 @@ class Network:
         self._forward_link(from_node, nxt, packet)
 
     def _drop(self, reason: str, packet: Packet) -> None:
-        """Record a dropped packet (list for tests, counter for stats)."""
-        self.drops.append((self.now, reason, packet))
+        """Record a dropped packet (list for tests, counter for stats).
+
+        The counter is incremental — :meth:`drop_stats` never re-walks
+        the list — and the list itself is capped at
+        :data:`DROPS_KEPT_MAX` entries so unbounded fuzz/campaign runs
+        under heavy loss cannot grow memory without limit.
+        """
+        self._drop_counter[reason] += 1
+        if len(self.drops) < DROPS_KEPT_MAX:
+            self.drops.append((self.now, reason, packet))
+        else:
+            self.drops_truncated += 1
 
     def _forward_link(self, from_node: Node, to_node: Node,
                       packet: Packet) -> None:
@@ -399,17 +542,22 @@ class Network:
     # ------------------------------------------------------------------
 
     def drop_stats(self, *, collapse: bool = True) -> Dict[str, int]:
-        """Structured view of :attr:`drops` as ``reason -> count``.
+        """Structured view of all drops so far as ``reason -> count``.
 
         With ``collapse=True`` the per-hop suffix (``reason:a->b`` or
         ``reason:router``) is stripped so counters aggregate by cause —
-        the form the CLI prints in verbose mode.
+        the form the CLI prints in verbose mode.  Served from the
+        incremental counter maintained by :meth:`_drop` (it covers
+        every drop, including any truncated out of :attr:`drops`), so
+        the cost scales with distinct reasons, not total drops.
         """
+        if not collapse:
+            return dict(self._drop_counter)
         counts: Counter = Counter()
-        for _, reason, _ in self.drops:
-            if collapse and ":" in reason:
+        for reason, count in self._drop_counter.items():
+            if ":" in reason:
                 reason = reason.split(":", 1)[0]
-            counts[reason] += 1
+            counts[reason] += count
         return dict(counts)
 
     def inject_at(self, router: Router, packet: Packet) -> None:

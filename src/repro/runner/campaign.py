@@ -14,6 +14,15 @@ the run directory), and renders the final tables **from the journal**
   built from the campaign seed, never on state left over from
   earlier units).
 
+With ``workers > 1`` independent units execute concurrently in a
+process pool (each worker builds its own world from the campaign
+seed); results stream back and are committed to the journal in
+**canonical unit order**, so the journal — and the tables rendered
+from it — are byte-identical to a serial run.  Journal records carry
+only deterministic fields; per-unit wall-clock timings live in the run
+directory's ``timings.jsonl`` sidecar.  See ``docs/PERFORMANCE.md``
+for the determinism argument.
+
 A cooperative :class:`~repro.runner.watchdog.Watchdog` bounds runaway
 units: per-unit simulated-event budgets (deterministic) and per-unit /
 per-campaign wall-clock guards (for real hangs) convert a stuck unit
@@ -24,21 +33,27 @@ and move on.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .errors import (
-    FATAL,
     CampaignDeadline,
     CampaignError,
     ResumeMismatch,
     SimulatedCrash,
     TimeoutDegradation,
-    UnitTimeout,
-    classify_error,
 )
 from .journal import Journal
+from .parallel import (
+    FatalUnitError,
+    UnitSettings,
+    build_unit_world,
+    execute_unit,
+    run_unit_task,
+    worker_initializer,
+)
 from .units import Unit
 from .watchdog import Watchdog
 
@@ -123,9 +138,18 @@ class Campaign:
                  crash_after: Optional[int] = None,
                  specs: Optional[Mapping[str, object]] = None,
                  echo_journal: bool = False,
+                 workers: int = 1,
                  clock: Callable[[], float] = time.monotonic) -> None:
         from ..experiments.common import bench_fraction
 
+        if workers < 1:
+            raise CampaignError(f"workers must be >= 1, got {workers}")
+        if workers > 1 and specs is not None:
+            raise CampaignError(
+                "workers > 1 requires registry experiments (worker "
+                "processes re-resolve units by name; ad-hoc spec "
+                "modules cannot cross the process boundary)")
+        self.workers = workers
         self.registry = (dict(specs) if specs is not None
                          else _registry(experiments))
         #: On resume with no explicit experiment list, adopt the
@@ -221,68 +245,39 @@ class Campaign:
     # Unit execution
     # ------------------------------------------------------------------
 
+    def _settings(self) -> UnitSettings:
+        """The picklable execution settings shared with workers."""
+        return UnitSettings(
+            seed=self.seed, scale=self.scale, fraction=self.fraction,
+            loss=self.loss, fault_seed=self.fault_seed,
+            retries=self.retries, unit_steps=self.unit_steps,
+            unit_wall=self.watchdog.unit_wall,
+        )
+
     def _fresh_world(self):
         """A pristine world per unit: resume-order independence."""
-        from ..isps.world import build_world
-        from ..netsim.faults import DEFAULT_HARDENING, FaultPlan
-
-        world = build_world(seed=self.seed, scale=self.scale)
-        if self.loss:
-            hardening = DEFAULT_HARDENING
-            if self.retries is not None:
-                hardening = dataclasses.replace(
-                    hardening,
-                    dns_attempts=max(1, self.retries),
-                    fetch_attempts=max(1, self.retries))
-            world.install_faults(
-                FaultPlan.uniform_loss(self.loss, seed=self.fault_seed),
-                hardening)
-        return world
-
-    def _run_unit(self, experiment: str, unit: Unit) -> Dict:
-        """Execute one unit; returns its (un-journaled) record."""
-        from ..experiments.common import domain_sample
-
-        record: Dict = {"type": "unit", "experiment": experiment,
-                        "unit": unit.name, "payload": None,
-                        "error": None, "timeout": None}
-        start = time.monotonic()
-        world = self._fresh_world()
-        domains = domain_sample(world, self.fraction)
-        self.watchdog.begin_unit(world.network)
-        try:
-            payload = unit.fn(world, domains)
-        except UnitTimeout as exc:
-            record["status"] = "timeout"
-            record["timeout"] = {"kind": exc.kind, "detail": exc.detail}
-        except Exception as exc:
-            category = classify_error(exc)
-            record["status"] = "failed"
-            record["error"] = {
-                "category": category,
-                "reason": f"{type(exc).__name__}: {exc}",
-            }
-            if category == FATAL:
-                record["steps"] = self.watchdog.end_unit()
-                self._journal_failed_fatal(record)
-                raise
-        else:
-            errors = payload.get("errors") if isinstance(payload, dict) \
-                else None
-            record["status"] = "degraded" if errors else "ok"
-            record["payload"] = payload
-        finally:
-            steps = self.watchdog.end_unit()
-        record["steps"] = steps
-        record["wall"] = round(time.monotonic() - start, 3)
-        return record
+        return build_unit_world(self._settings())
 
     def _journal_failed_fatal(self, record: Dict) -> None:
         """Best-effort durable note of a fatal crash (then re-raise)."""
         try:
-            record["wall"] = None
             self._append(self._journal, record)
         except Exception:  # pragma: no cover - diagnostics only
+            pass
+
+    def _commit(self, journal: Journal, experiment: str, unit: Unit,
+                record: Dict, wall: float) -> None:
+        """Durably journal one unit record, timing in the sidecar."""
+        self._append(journal, record)
+        try:
+            with open(os.path.join(self.run_dir, "timings.jsonl"),
+                      "a", encoding="utf-8") as fh:
+                fh.write(json.dumps({
+                    "experiment": experiment, "unit": unit.name,
+                    "status": record.get("status"),
+                    "wall": round(wall, 3),
+                }) + "\n")
+        except OSError:  # pragma: no cover - diagnostics only
             pass
 
     # ------------------------------------------------------------------
@@ -304,29 +299,21 @@ class Campaign:
             and rec.get("status") in _DURABLE_STATUSES
         }
         resumed = 0
-        executed = 0
-        deadline_hit: Optional[str] = None
-        self.watchdog.start_campaign()
+        #: Canonical execution/commit order: registry order, then each
+        #: experiment's own unit order — identical for every worker
+        #: count, which is what makes the journals byte-compare.
+        pending: List[Tuple[str, Unit]] = []
         for key, units in units_by_exp.items():
             for unit in units:
                 if (key, unit.name) in durable:
                     resumed += 1
-                    continue
-                if deadline_hit is None:
-                    try:
-                        self.watchdog.check_campaign()
-                    except CampaignDeadline as exc:
-                        deadline_hit = str(exc)
-                if deadline_hit is not None:
-                    continue
-                record = self._run_unit(key, unit)
-                self._append(journal, record)
-                executed += 1
-                if (self.crash_after is not None
-                        and executed >= self.crash_after):
-                    raise SimulatedCrash(
-                        f"injected crash after {executed} journaled "
-                        f"unit(s) — resume with --resume {self.run_dir}")
+                else:
+                    pending.append((key, unit))
+        self.watchdog.start_campaign()
+        if self.workers > 1:
+            deadline_hit = self._run_parallel(journal, pending)
+        else:
+            deadline_hit = self._run_serial(journal, pending)
         report = self._finish(units_by_exp, resumed, discarded,
                               deadline_hit)
         self._append(journal, {
@@ -335,6 +322,83 @@ class Campaign:
             else ("complete" if report.complete else "partial"),
         })
         return report
+
+    def _check_deadline(self, deadline_hit: Optional[str]
+                        ) -> Optional[str]:
+        """Between units/commits: has the campaign budget expired?"""
+        if deadline_hit is None:
+            try:
+                self.watchdog.check_campaign()
+            except CampaignDeadline as exc:
+                return str(exc)
+        return deadline_hit
+
+    def _crash_if_injected(self, executed: int) -> None:
+        if self.crash_after is not None and executed >= self.crash_after:
+            raise SimulatedCrash(
+                f"injected crash after {executed} journaled "
+                f"unit(s) — resume with --resume {self.run_dir}")
+
+    def _run_serial(self, journal: Journal,
+                    pending: List[Tuple[str, Unit]]) -> Optional[str]:
+        """Seed behaviour: one unit at a time, in canonical order."""
+        settings = self._settings()
+        executed = 0
+        deadline_hit: Optional[str] = None
+        for key, unit in pending:
+            deadline_hit = self._check_deadline(deadline_hit)
+            if deadline_hit is not None:
+                continue
+            try:
+                record, wall = execute_unit(settings, key, unit,
+                                            self.watchdog)
+            except FatalUnitError as exc:
+                self._journal_failed_fatal(exc.record)
+                raise exc.original
+            self._commit(journal, key, unit, record, wall)
+            executed += 1
+            self._crash_if_injected(executed)
+        return deadline_hit
+
+    def _run_parallel(self, journal: Journal,
+                      pending: List[Tuple[str, Unit]]) -> Optional[str]:
+        """Fan units out to a process pool; commit in canonical order.
+
+        Submission is free-running (workers pick up units as slots
+        open) but the commit loop walks *pending* in order and blocks
+        on each unit's own future, so the journal is written exactly
+        as a serial run writes it.  A hit deadline stops committing —
+        uncommitted results are discarded, leaving those units missing
+        and resumable, just as the serial loop leaves them un-run.
+        """
+        from concurrent.futures import ProcessPoolExecutor
+
+        executed = 0
+        deadline_hit: Optional[str] = None
+        pool = ProcessPoolExecutor(
+            max_workers=self.workers,
+            initializer=worker_initializer,
+            initargs=(self._settings(),))
+        try:
+            futures = [(key, unit,
+                        pool.submit(run_unit_task, key, unit.name))
+                       for key, unit in pending]
+            for key, unit, future in futures:
+                deadline_hit = self._check_deadline(deadline_hit)
+                if deadline_hit is not None:
+                    break
+                record, wall, fatal = future.result()
+                if fatal:
+                    self._journal_failed_fatal(record)
+                    raise CampaignError(
+                        f"fatal error in unit {key}:{record['unit']}: "
+                        f"{record['error']['reason']}")
+                self._commit(journal, key, unit, record, wall)
+                executed += 1
+                self._crash_if_injected(executed)
+        finally:
+            pool.shutdown(wait=True, cancel_futures=True)
+        return deadline_hit
 
     # ------------------------------------------------------------------
     # Assembly (always from the journal — the durable source of truth)

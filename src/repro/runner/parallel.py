@@ -1,0 +1,189 @@
+"""Process-parallel execution of campaign units.
+
+Campaign units are embarrassingly parallel by construction: every unit
+runs on a **fresh world built from the campaign seed** (never on state
+left over from earlier units), so executing them in worker processes
+cannot change what any unit measures.  What *could* differ is the
+order results reach the journal — so the campaign keeps submission
+free-running but **commits results in canonical unit order** (the
+order the serial runner uses).  The journal, and therefore the tables
+rendered from it, come out byte-identical to a ``--workers 1`` run;
+CI byte-compares the two on every push.
+
+The pieces here are shared by both execution modes:
+
+* :class:`UnitSettings` — the picklable subset of campaign
+  configuration a unit's execution depends on;
+* :func:`execute_unit` — build world, arm watchdog, run one unit,
+  classify the outcome into a journal record (the single
+  implementation both the serial loop and the workers call);
+* :func:`worker_initializer` / :func:`run_unit_task` — the process
+  pool entry points.  Workers receive only ``(experiment, unit name)``
+  pairs and re-resolve the unit from the experiment registry, so no
+  closures ever cross the process boundary.
+
+Wall-clock timings are *returned* alongside records but never
+journaled — they are the one nondeterministic observable, and live in
+the run directory's ``timings.jsonl`` sidecar instead.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from typing import Dict, Optional, Tuple
+
+from .errors import FATAL, CampaignError, UnitTimeout, classify_error
+from .units import Unit
+from .watchdog import Watchdog
+
+
+@dataclasses.dataclass(frozen=True)
+class UnitSettings:
+    """Everything a unit's execution depends on, in picklable form."""
+
+    seed: int
+    scale: float
+    fraction: float
+    loss: float = 0.0
+    fault_seed: int = 0
+    retries: Optional[int] = None
+    unit_steps: Optional[int] = None
+    unit_wall: Optional[float] = None
+
+
+class FatalUnitError(Exception):
+    """A unit died of a programming error.
+
+    Carries the failed unit's journal record so the campaign can note
+    the crash durably before propagating; ``original`` is the fatal
+    exception itself (re-raised verbatim by the serial path).
+    """
+
+    def __init__(self, record: Dict, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.record = record
+        self.original = original
+
+
+def build_unit_world(settings: UnitSettings):
+    """A pristine world per unit: resume- and order-independence."""
+    from ..isps.world import build_world
+    from ..netsim.faults import DEFAULT_HARDENING, FaultPlan
+
+    world = build_world(seed=settings.seed, scale=settings.scale)
+    if settings.loss:
+        hardening = DEFAULT_HARDENING
+        if settings.retries is not None:
+            hardening = dataclasses.replace(
+                hardening,
+                dns_attempts=max(1, settings.retries),
+                fetch_attempts=max(1, settings.retries))
+        world.install_faults(
+            FaultPlan.uniform_loss(settings.loss,
+                                   seed=settings.fault_seed),
+            hardening)
+    return world
+
+
+def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
+                 watchdog: Watchdog) -> Tuple[Dict, float]:
+    """Run one unit; returns ``(journal record, wall seconds)``.
+
+    The record carries only deterministic fields (status, payload,
+    simulated-step count); the wall measurement rides separately so
+    journals stay byte-identical across runs and execution modes.
+    Fatal (programming) errors raise :class:`FatalUnitError` wrapping
+    the half-built record.
+    """
+    from ..experiments.common import domain_sample
+
+    record: Dict = {"type": "unit", "experiment": experiment,
+                    "unit": unit.name, "payload": None,
+                    "error": None, "timeout": None}
+    start = time.monotonic()
+    world = build_unit_world(settings)
+    domains = domain_sample(world, settings.fraction)
+    watchdog.begin_unit(world.network)
+    try:
+        payload = unit.fn(world, domains)
+    except UnitTimeout as exc:
+        record["status"] = "timeout"
+        record["timeout"] = {"kind": exc.kind, "detail": exc.detail}
+    except Exception as exc:
+        category = classify_error(exc)
+        record["status"] = "failed"
+        record["error"] = {
+            "category": category,
+            "reason": f"{type(exc).__name__}: {exc}",
+        }
+        if category == FATAL:
+            record["steps"] = watchdog.end_unit()
+            raise FatalUnitError(record, exc) from exc
+    else:
+        errors = payload.get("errors") if isinstance(payload, dict) \
+            else None
+        record["status"] = "degraded" if errors else "ok"
+        record["payload"] = payload
+    finally:
+        steps = watchdog.end_unit()
+    record["steps"] = steps
+    return record, time.monotonic() - start
+
+
+# ---------------------------------------------------------------------------
+# Worker-process side
+# ---------------------------------------------------------------------------
+
+#: Per-worker state installed by :func:`worker_initializer`:
+#: the settings plus a lazily built ``{experiment: {name: Unit}}`` memo
+#: (units are re-resolved from the registry once per worker, then
+#: reused for every task the worker executes).
+_WORKER: Dict = {}
+
+
+def worker_initializer(settings: UnitSettings) -> None:
+    _WORKER["settings"] = settings
+    _WORKER["units"] = {}
+
+
+def _resolve_unit(experiment: str, unit_name: str) -> Unit:
+    from ..experiments import EXPERIMENT_MODULES
+
+    by_name = _WORKER["units"].get(experiment)
+    if by_name is None:
+        module = EXPERIMENT_MODULES.get(experiment)
+        if module is None:
+            raise CampaignError(f"worker: unknown experiment "
+                                f"{experiment!r}")
+        by_name = {unit.name: unit for unit in module.units()}
+        _WORKER["units"][experiment] = by_name
+    unit = by_name.get(unit_name)
+    if unit is None:
+        raise CampaignError(
+            f"worker: experiment {experiment!r} has no unit "
+            f"{unit_name!r}")
+    return unit
+
+
+def run_unit_task(experiment: str, unit_name: str
+                  ) -> Tuple[Dict, float, bool]:
+    """Pool task: execute one unit in this worker process.
+
+    Returns ``(record, wall, fatal)``.  Fatal errors are folded into
+    the returned record (with ``fatal=True``) rather than raised, so
+    the parent can journal the crash durably — mirroring the serial
+    path — before aborting the campaign.
+    """
+    settings: UnitSettings = _WORKER["settings"]
+    unit = _resolve_unit(experiment, unit_name)
+    # Each worker arms its own unit-scope watchdog; the campaign-wide
+    # wall budget stays with the parent, which enforces it between
+    # journal commits exactly as the serial loop does between units.
+    watchdog = Watchdog(unit_steps=settings.unit_steps,
+                        unit_wall=settings.unit_wall)
+    try:
+        record, wall = execute_unit(settings, experiment, unit, watchdog)
+    except FatalUnitError as exc:
+        return exc.record, 0.0, True
+    return record, wall, False

@@ -1,0 +1,120 @@
+"""Process-parallel campaigns: worker-count invariance.
+
+The tentpole guarantee of ``--workers N``: the journal (and therefore
+``tables.txt``) is byte-identical to a serial run, because results are
+committed in canonical unit order and every unit runs on a fresh world
+built from the campaign seed regardless of which process executes it.
+"""
+
+import os
+
+import pytest
+
+from repro.runner import CampaignError, SimulatedCrash
+from repro.runner.campaign import Campaign
+from repro.runner.parallel import UnitSettings, run_unit_task, \
+    worker_initializer
+
+#: Cheap-but-real experiment subset (same as the resume suite).
+EXPERIMENTS = ["tcpip", "table3"]
+SCALE = 0.05
+
+
+def _campaign(run_dir, **kwargs):
+    kwargs.setdefault("experiments", list(EXPERIMENTS))
+    kwargs.setdefault("scale", SCALE)
+    kwargs.setdefault("fraction", 1.0)
+    return Campaign(seed=1808, run_dir=str(run_dir), **kwargs)
+
+
+def _read(path):
+    with open(path, "rb") as fh:
+        return fh.read()
+
+
+class TestWorkerInvariance:
+    def test_journal_and_tables_byte_identical(self, tmp_path):
+        serial = _campaign(tmp_path / "serial", workers=1).run()
+        parallel = _campaign(tmp_path / "parallel", workers=3).run()
+        assert parallel.complete
+        assert _read(parallel.journal_path) == _read(serial.journal_path)
+        assert _read(parallel.tables_path) == _read(serial.tables_path)
+
+    def test_resume_with_workers(self, tmp_path):
+        straight = _campaign(tmp_path / "straight").run()
+        interrupted = tmp_path / "interrupted"
+        with pytest.raises(SimulatedCrash):
+            _campaign(interrupted, crash_after=1).run()
+        resumed = _campaign(interrupted, resume=True, workers=3).run()
+        assert resumed.complete
+        assert resumed.degradation.resumed == 1
+        assert _read(resumed.tables_path) == _read(straight.tables_path)
+
+    def test_crash_after_counts_journal_commits(self, tmp_path):
+        run_dir = tmp_path / "run"
+        with pytest.raises(SimulatedCrash):
+            _campaign(run_dir, workers=3, crash_after=2).run()
+        resumed = _campaign(run_dir, resume=True, workers=3).run()
+        assert resumed.complete
+        assert resumed.degradation.resumed == 2
+
+    def test_timings_sidecar_written_not_journaled(self, tmp_path):
+        report = _campaign(tmp_path / "run", workers=2).run()
+        sidecar = os.path.join(report.run_dir, "timings.jsonl")
+        assert os.path.exists(sidecar)
+        assert b'"wall"' in _read(sidecar)
+        # Wall clock is the one nondeterministic observable: it must
+        # never reach the hash-chained journal.
+        assert b'"wall"' not in _read(report.journal_path)
+
+
+class TestWorkerValidation:
+    def test_zero_workers_rejected(self, tmp_path):
+        with pytest.raises(CampaignError, match="workers"):
+            _campaign(tmp_path / "run", workers=0)
+
+    def test_specs_cannot_be_parallel(self, tmp_path):
+        import types
+
+        from repro.runner.units import TableSpec, Unit, campaign_payload
+
+        module = types.SimpleNamespace(
+            CAMPAIGN=TableSpec(title="t", headers=("a",)),
+            units=lambda: iter([Unit("u", lambda w, d:
+                                     campaign_payload([["x"]]))]),
+        )
+        with pytest.raises(CampaignError, match="registry"):
+            Campaign(run_dir=str(tmp_path / "run"),
+                     specs={"adhoc": module}, workers=2)
+
+
+class TestWorkerTask:
+    """The pool entry points, driven in-process."""
+
+    def test_run_unit_task_round_trip(self):
+        worker_initializer(UnitSettings(seed=1808, scale=SCALE,
+                                        fraction=1.0))
+        record, wall, fatal = run_unit_task("tcpip", "mtnl")
+        assert not fatal
+        assert record["status"] == "ok"
+        assert record["experiment"] == "tcpip"
+        assert record["unit"] == "mtnl"
+        assert record["payload"]["rows"]
+        assert wall >= 0.0
+
+    def test_unknown_unit_raises(self):
+        worker_initializer(UnitSettings(seed=1808, scale=SCALE,
+                                        fraction=1.0))
+        with pytest.raises(CampaignError, match="no unit"):
+            run_unit_task("tcpip", "not-an-isp")
+
+
+class TestCliWorkers:
+    def test_workers_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        run_dir = str(tmp_path / "run")
+        assert main(["campaign", "tcpip", "--scale", str(SCALE),
+                     "--run-dir", run_dir, "--workers", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "TCP/IP filtering test" in out
