@@ -7,6 +7,7 @@ probe throughput, and resolver-scan throughput.  Unlike the experiment
 benches these run multiple rounds for stable statistics.
 """
 
+import statistics
 import time
 
 import pytest
@@ -128,3 +129,67 @@ def test_fib_speedup_express_probe(perf_world):
         f"FIB fast path only {speedup:.2f}x over the seed routing "
         f"(cached {fast[0] * 1e3:.1f} ms vs uncached "
         f"{slow[0] * 1e3:.1f} ms)")
+
+
+def test_trace_overhead_express_probe(perf_world):
+    """Acceptance check: an attached-but-unsubscribed trace bus costs
+    <5% on the express probe sweep.
+
+    This is the cost a campaign pays for *enabled* tracing when no one
+    is listening — each probe's emit site runs its two attribute tests
+    (``trace is not None``, ``trace.active``) and nothing else.  The
+    sweep is the same one the FIB gate times; both states are measured
+    min-of-N to shave scheduler noise.
+    """
+    from repro.obs.trace import TraceBus
+
+    world = perf_world
+    client = world.client_of("idea")
+    domains = world.corpus.domains()
+    payloads = [(world.hosting.ip_for(d, "in"), canonical_payload(d))
+                for d in domains]
+    network = world.network
+
+    def sweep():
+        censored = 0
+        for ip, payload in payloads:
+            verdict = express_http_probe(network, client, ip, payload)
+            censored += verdict.censored
+        return censored
+
+    def timed():
+        # One sweep is ~1.5 ms — too short to resolve a 5% gate
+        # against scheduler jitter; time a batch instead.
+        start = time.perf_counter()
+        censored = 0
+        for _ in range(5):
+            censored = sweep()
+        return time.perf_counter() - start, censored
+
+    sweep()  # warm caches so both states measure steady-state cost
+    assert network.trace is None
+    bus = TraceBus()
+    # Interleave off/on rounds so clock-frequency drift and scheduler
+    # noise land on both states equally; compare medians (min-of-N is
+    # too sensitive to a single lucky round to resolve a 5% gate).
+    off_rounds = []
+    on_rounds = []
+    try:
+        for _ in range(9):
+            network.trace = None
+            off_rounds.append(timed())
+            network.trace = bus
+            assert not bus.active
+            on_rounds.append(timed())
+    finally:
+        network.trace = None  # perf_world is shared
+    assert off_rounds[0][1] == on_rounds[0][1], \
+        "tracing changed probe verdicts"
+    assert bus.emitted == 0, "unsubscribed bus delivered events"
+    baseline = statistics.median(t for t, _ in off_rounds)
+    traced = statistics.median(t for t, _ in on_rounds)
+    overhead = traced / baseline - 1.0
+    assert overhead < 0.05, (
+        f"unsubscribed tracing costs {overhead * 100:.1f}% on the "
+        f"express sweep (off {baseline * 1e3:.1f} ms vs on "
+        f"{traced * 1e3:.1f} ms; gate is 5%)")

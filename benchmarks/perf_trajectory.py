@@ -25,10 +25,14 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 
 #: Fail ``check`` only when current/baseline exceeds this factor.
 DEFAULT_MAX_REGRESSION = 2.0
+
+#: Where ``record``/``check`` look when no baseline path is given.
+DEFAULT_BASELINE = "BENCH_simulator.json"
 
 
 def load_cases(pytest_benchmark_json: str) -> dict:
@@ -52,17 +56,29 @@ def record(args: argparse.Namespace) -> int:
         "bench_file": "benchmarks/bench_simulator_performance.py",
         "cases": {name: cases[name] for name in sorted(cases)},
     }
+    # A machine with no baseline yet may also lack the directory the
+    # baseline should live in (fresh checkout, scratch dir): create it
+    # rather than failing — `record` exists precisely to bootstrap.
+    parent = os.path.dirname(os.path.abspath(args.baseline))
+    os.makedirs(parent, exist_ok=True)
+    fresh = not os.path.exists(args.baseline)
     with open(args.baseline, "w", encoding="utf-8") as fh:
         json.dump(payload, fh, indent=2, sort_keys=True)
         fh.write("\n")
     for name in sorted(cases):
         print(f"  {name}: {cases[name] / 1e6:.2f} ms/op")
-    print(f"wrote {len(cases)} case(s) to {args.baseline}")
+    verb = "created" if fresh else "refreshed"
+    print(f"{verb} {args.baseline} with {len(cases)} case(s)")
     return 0
 
 
 def check(args: argparse.Namespace) -> int:
     current = load_cases(args.raw)
+    if not os.path.exists(args.baseline):
+        raise SystemExit(
+            f"{args.baseline}: no baseline on this machine — create one "
+            f"first with:\n  python benchmarks/perf_trajectory.py record "
+            f"{args.raw} {args.baseline}")
     with open(args.baseline, "r", encoding="utf-8") as fh:
         baseline = json.load(fh)["cases"]
     failures = []
@@ -97,12 +113,16 @@ def main(argv=None) -> int:
 
     p_record = sub.add_parser("record", help="write/refresh the baseline")
     p_record.add_argument("raw", help="pytest-benchmark JSON output")
-    p_record.add_argument("baseline", help="baseline file to write")
+    p_record.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                          help="baseline file to write "
+                               "(default %(default)s)")
     p_record.set_defaults(fn=record)
 
     p_check = sub.add_parser("check", help="compare against the baseline")
     p_check.add_argument("raw", help="pytest-benchmark JSON output")
-    p_check.add_argument("baseline", help="committed baseline file")
+    p_check.add_argument("baseline", nargs="?", default=DEFAULT_BASELINE,
+                         help="committed baseline file "
+                              "(default %(default)s)")
     p_check.add_argument("--max-regression", type=float,
                          default=DEFAULT_MAX_REGRESSION,
                          help="failure threshold as current/baseline "

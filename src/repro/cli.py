@@ -10,6 +10,7 @@
     python -m repro evade idea <domain>      # try every evasion
     python -m repro trace idea <domain>      # iterative network trace
     python -m repro fuzz --seed 7            # deterministic fuzz campaign
+    python -m repro report <run-dir>         # campaign run dir -> report
 
 All commands accept ``--scale`` (world size; 1.0 = paper scale) and
 ``--seed``.  Fault injection is available everywhere: ``--loss 0.05``
@@ -27,6 +28,11 @@ only missing units — see ``docs/CAMPAIGNS.md``.
 ``fuzz`` runs the deterministic protocol fuzzer with its differential
 server/middlebox oracle; same seed ⇒ byte-identical journal — see
 ``docs/FUZZING.md``.
+
+``campaign --trace`` records hop-level trace events to a
+``trace.jsonl`` sidecar, and ``report`` renders any finished (or
+killed) run directory into ``report.md`` + ``report.json`` — see
+``docs/OBSERVABILITY.md``.
 """
 
 from __future__ import annotations
@@ -112,6 +118,18 @@ def build_parser() -> argparse.ArgumentParser:
     campaign.add_argument("--journal", action="store_true",
                           help="echo journal records as they are "
                                "appended")
+    campaign.add_argument("--trace", action="store_true",
+                          help="record hop-level trace events to "
+                               "<run-dir>/trace.jsonl (journal bytes "
+                               "are unaffected)")
+
+    report = sub.add_parser(
+        "report",
+        help="render a campaign run directory into report.md + "
+             "report.json")
+    report.add_argument("run_dir", metavar="RUN_DIR",
+                        help="a campaign run directory "
+                             "(contains journal.jsonl)")
 
     fuzz = sub.add_parser(
         "fuzz",
@@ -167,6 +185,8 @@ def main(argv: Optional[list] = None) -> int:
         return _cmd_experiment(args)
     if args.command == "campaign":
         return _cmd_campaign(args)
+    if args.command == "report":
+        return _cmd_report(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
     world = build_world(seed=args.seed, scale=args.scale)
@@ -266,12 +286,26 @@ def _cmd_campaign(args) -> int:
             retries=args.retries,
             echo_journal=args.journal,
             workers=args.workers,
+            trace=args.trace,
         )
         report = campaign.run()
     except CampaignError as exc:
         raise SystemExit(f"repro: error: {exc}")
     print(report.render())
     return 0 if report.complete else 1
+
+
+def _cmd_report(args) -> int:
+    from .obs.report import ReportError, write_report
+
+    try:
+        md_path, json_path = write_report(args.run_dir)
+    except ReportError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    with open(md_path, encoding="utf-8") as fh:
+        print(fh.read(), end="")
+    print(f"\nwrote {md_path} and {json_path}")
+    return 0
 
 
 def _cmd_fuzz(args) -> int:

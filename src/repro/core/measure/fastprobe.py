@@ -117,6 +117,7 @@ def express_http_probe(
 ) -> ExpressVerdict:
     """Would this request payload be censored en route?"""
     client_ip = client_ip or client.ip
+    verdict = NOT_CENSORED
     for hop, box in middleboxes_along(network, client, dst_ip, client_ip):
         spec = getattr(box, "spec", None)
         if spec is None or not spec.inspects_port(dst_port):
@@ -125,9 +126,15 @@ def express_http_probe(
             continue
         domain = spec.matched_domain(payload)
         if domain is not None:
-            return ExpressVerdict(censored=True, domain=domain,
-                                  box=box, hop=hop)
-    return NOT_CENSORED
+            verdict = ExpressVerdict(censored=True, domain=domain,
+                                     box=box, hop=hop)
+            break
+    trace = network.trace
+    if trace is not None and trace.active:
+        trace.emit("probe", network.now, client=client.name, dst=dst_ip,
+                   censored=verdict.censored, domain=verdict.domain,
+                   hop=verdict.hop)
+    return verdict
 
 
 def express_canonical_probe(

@@ -15,6 +15,19 @@ DEFAULT_DNS_TIMEOUT = 2.0
 _client_ports = itertools.count(30000)
 
 
+def reset_client_ports(start: int = 30000) -> None:
+    """Restart the ephemeral source-port sequence DNS lookups draw from.
+
+    Like :func:`~repro.dnssim.message.reset_qids`, this exists so a
+    freshly built world issues the same port stream no matter what ran
+    earlier in the process — without it, trace flow ids (which embed
+    the source port) would differ between serial and worker-pool
+    campaign runs.  ``build_world`` calls it.
+    """
+    global _client_ports
+    _client_ports = itertools.count(start)
+
+
 def dns_lookup(
     network: Network,
     client: Host,
@@ -45,6 +58,11 @@ def dns_lookup(
         if result.responded:
             break
         if attempt < total:
+            network.client_retries["dns"] += 1
+            trace = network.trace
+            if trace is not None and trace.active:
+                trace.emit("retry", network.now, layer="dns",
+                           qname=qname, attempt=attempt)
             network.run(until=network.now + policy.dns_backoff(attempt))
     return result
 

@@ -52,6 +52,8 @@ class ResolverService:
         #: Fault-layer accounting (queries eaten / answers delayed).
         self.dropped_queries = 0
         self.slow_answers = 0
+        #: Lies told so far (metrics: dns_poisoned_answers_total).
+        self.poisoned_answers = 0
 
     def install(self, host: Host) -> None:
         host.bind_udp(DNS_PORT, self.handle)
@@ -75,6 +77,12 @@ class ResolverService:
             if action == "slow":
                 self.slow_answers += 1
         response = self.answer(query, host.ip)
+        if self._is_blocked(query.qname) and network is not None:
+            trace = network.trace
+            if trace is not None and trace.active:
+                trace.emit("dns-poisoned", now, node=host.name,
+                           resolver=host.ip, domain=query.qname,
+                           answer=response.ips[0] if response.ips else None)
         reply = make_udp_packet(
             host.ip, packet.src, DNS_PORT, packet.udp.src_port, response,
         )
@@ -92,6 +100,7 @@ class ResolverService:
                 raise ValueError(
                     f"resolver {own_ip} has a blocklist but no poison strategy"
                 )
+            self.poisoned_answers += 1
             return DNSResponse(
                 qname=domain, qid=query.qid,
                 ips=(poison(domain),), authority=own_ip,

@@ -187,6 +187,9 @@ class FuzzEngine:
                 state[target]["findings"] = record["findings"]
                 state[target]["classes"] = dict(record["classes"])
 
+        import time
+
+        metrics: Dict[str, Dict] = {}
         for target in self.targets:
             done = state[target]["done"]
             if done:
@@ -196,6 +199,7 @@ class FuzzEngine:
                 corpus = corpus + load_corpus_dir(self.corpus_dir, target)
             findings = state[target]["findings"]
             classes = state[target]["classes"]
+            target_start = time.monotonic()
             for iteration in range(done, self.iterations):
                 rng = derive_rng(self.seed, target, iteration)
                 entry = mutate(target, rng, corpus)
@@ -219,8 +223,37 @@ class FuzzEngine:
             report.per_target[target] = findings
             report.classes[target] = classes
             report.findings += findings
+            wall = time.monotonic() - target_start
+            executed = self.iterations - done
+            metrics[target] = {
+                "iterations": executed,
+                "wall_seconds": round(wall, 3),
+                "iterations_per_second":
+                    round(executed / wall, 1) if wall > 0 else None,
+                "findings": findings,
+            }
         self._append(journal, {"type": "end", "findings": report.findings})
+        self._write_metrics(metrics)
         return report
+
+    def _write_metrics(self, metrics: Dict[str, Dict]) -> None:
+        """Iteration-rate sidecar (``fuzz-metrics.json``).
+
+        Wall-clock rates never enter the journal — the journal must
+        stay byte-identical across runs; this sidecar is where the
+        nondeterministic throughput numbers live.
+        """
+        import json
+
+        path = os.path.join(os.path.dirname(self.journal_path),
+                            "fuzz-metrics.json")
+        try:
+            with open(path, "w", encoding="utf-8") as fh:
+                json.dump({"per_target": metrics}, fh, indent=2,
+                          sort_keys=True)
+                fh.write("\n")
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
 
     def execute(self, target: str, entry) -> DiffResult:
         """Run one entry through its harness; exceptions become

@@ -159,6 +159,11 @@ def http_fetch(
         if not _silent_failure(result):
             break
         if attempt < total:
+            network.client_retries["http"] += 1
+            trace = network.trace
+            if trace is not None and trace.active:
+                trace.emit("retry", network.now, layer="http",
+                           dst=dst_ip, attempt=attempt)
             network.run(until=network.now + policy.fetch_backoff(attempt))
     return result
 

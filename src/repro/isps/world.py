@@ -24,6 +24,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from ..dnssim.client import reset_client_ports
 from ..dnssim.message import reset_qids
 from ..dnssim.resolver import ResolverConfig, ResolverService
 from ..dnssim.zones import GlobalDNS
@@ -133,10 +134,13 @@ def build_world(
         isp_names = list(PROFILES)
     isp_names = _close_over_upstreams(isp_names)
 
-    # Fresh worlds start from a pristine qid sequence: the qids any
-    # lookup sees depend only on the world's own traffic, never on
-    # whatever ran earlier in the process.
+    # Fresh worlds start from pristine qid and ephemeral-port
+    # sequences: what any lookup sees depends only on the world's own
+    # traffic, never on whatever ran earlier in the process (trace
+    # flow ids embed source ports, so this is also what keeps traces
+    # byte-identical between serial and worker-pool campaigns).
     reset_qids()
+    reset_client_ports()
 
     network = Network()
     global_dns = GlobalDNS()

@@ -71,5 +71,12 @@ class DNSInjectorMiddlebox:
             packet.dst, packet.src, DNS_PORT, packet.udp.src_port, forged,
         )
         self.injection_log.append((now, domain, packet.src))
+        trace = network.trace
+        if trace is not None and trace.active:
+            from ..obs.trace import flow_id
+
+            trace.emit("dns-inject", now, box=self.name, isp=self.isp,
+                       node=router.name, domain=domain,
+                       flow=flow_id(packet))
         network.call_later(0.0002, network.inject_at, router, reply)
         return FORWARD if self.forward_query else CONSUMED

@@ -124,6 +124,14 @@ class InterceptiveMiddlebox(Middlebox):
         if record is not None:
             record.censored = True
             record.censored_domain = domain
+        network = router.network
+        trace = network.trace if network is not None else None
+        if trace is not None and trace.active:
+            from ..obs.trace import flow_id
+
+            trace.emit("im-intercept", now, box=self.name, isp=self.isp,
+                       node=router.name, domain=domain,
+                       flow=flow_id(packet))
         self._respond_to_client(packet, domain, router)
         self._reset_server_side(packet, router)
         return CONSUMED

@@ -101,6 +101,14 @@ class WiretapMiddlebox(Middlebox):
             record.censored_domain = domain
 
         lost_race = self._rng.random() < self.miss_rate
+        network = router.network
+        trace = network.trace if network is not None else None
+        if trace is not None and trace.active:
+            from ..obs.trace import flow_id
+
+            trace.emit("wm-trigger", now, box=self.name, isp=self.isp,
+                       node=router.name, domain=domain,
+                       flow=flow_id(packet), lost_race=lost_race)
         if lost_race:
             self.stats.missed_race += 1
             reaction = SLOW_REACTION

@@ -124,6 +124,13 @@ class Host(Node):
         """Transmit *packet* into the network (raw-socket style)."""
         if self.network is None:
             raise RuntimeError(f"host {self.name} is not attached to a network")
+        trace = self.network.trace
+        if trace is not None and trace.active:
+            from ..obs.trace import flow_id
+
+            trace.emit("send", self.network.now, node=self.name,
+                       flow=flow_id(packet), proto=packet.flow_key()[0],
+                       dst=packet.dst, ttl=packet.ttl)
         self.capture.record(self.network.now, self.name, "tx", packet)
         self.network.transmit(self, packet)
 

@@ -23,7 +23,10 @@ import heapq
 import itertools
 import zlib
 from collections import Counter
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - typing only, no import cycle
+    from ..obs.trace import TraceBus
 
 import networkx as nx
 
@@ -38,6 +41,7 @@ from .faults import (
     HardeningPolicy,
 )
 from .packets import Packet, make_time_exceeded
+from ..obs.trace import flow_id as _flow_id
 
 #: Default one-way link delay in (virtual) seconds.
 DEFAULT_LINK_DELAY = 0.005
@@ -122,6 +126,23 @@ class Network:
         #: convert runaway units into recorded timeouts; exceptions it
         #: raises propagate out of :meth:`run`.
         self.step_hook: Optional[Callable[[], None]] = None
+        #: Structured trace bus (``repro.obs.trace``); ``None`` — the
+        #: default — costs one attribute test per emit site, an
+        #: attached-but-unsubscribed bus one extra ``active`` test.
+        self.trace: Optional["TraceBus"] = None
+        #: Always-on forwarding-cache statistics.  Plain integer
+        #: attributes (never dicts) so the hot path pays a single
+        #: in-place add; ``repro.obs.metrics`` scrapes them into the
+        #: catalogued metric names.
+        self.fib_hits = 0
+        self.fib_builds = 0
+        self.flowhash_hits = 0
+        self.flowhash_misses = 0
+        self.path_cache_hits = 0
+        self.path_cache_misses = 0
+        #: Hardened-client retry accounting: ``layer -> count``
+        #: (clients bump it; same pattern as the drop counter).
+        self.client_retries: Counter = Counter()
 
     def install_faults(self, plan: FaultPlan,
                        hardening: Optional[HardeningPolicy] = None,
@@ -280,6 +301,11 @@ class Network:
     def pending_events(self) -> int:
         return len(self._queue)
 
+    @property
+    def events_processed(self) -> int:
+        """Total events executed over this network's lifetime."""
+        return self._events_processed
+
     # ------------------------------------------------------------------
     # Routing (hash-based ECMP over shortest paths)
     # ------------------------------------------------------------------
@@ -324,12 +350,15 @@ class Network:
         """
         table = self._fib.get(dst_name)
         if table is None:
+            self.fib_builds += 1
             dist = self._distances_to(dst_name)
             table = {
                 name: self._ecmp_candidates(name, dist)
                 for name in dist
             }
             self._fib[dst_name] = table
+        else:
+            self.fib_hits += 1
         return table
 
     def _flow_hash(self, src_ip: Optional[str], dst_ip: str,
@@ -339,10 +368,13 @@ class Network:
         key = (src_ip, dst_ip, node_name)
         digest = cache.get(key)
         if digest is None:
+            self.flowhash_misses += 1
             if len(cache) >= ECMP_HASH_CACHE_MAX:
                 cache.clear()
             digest = _ecmp_hash(src_ip, dst_ip, node_name)
             cache[key] = digest
+        else:
+            self.flowhash_hits += 1
         return digest
 
     def next_hop(self, from_node: Node, dst_ip: str,
@@ -395,7 +427,9 @@ class Network:
             key = (from_node.name, dst_ip, src_ip)
             cached = self._path_cache.get(key)
             if cached is not None:
+                self.path_cache_hits += 1
                 return list(cached)
+            self.path_cache_misses += 1
         owner = self.ip_owner.get(dst_ip)
         if owner is None:
             raise RoutingError(f"no node owns {dst_ip}")
@@ -455,6 +489,10 @@ class Network:
             self.drops.append((self.now, reason, packet))
         else:
             self.drops_truncated += 1
+        trace = self.trace
+        if trace is not None and trace.active:
+            trace.emit("drop", self.now, reason=reason,
+                       flow=_flow_id(packet), dst=packet.dst)
 
     def _forward_link(self, from_node: Node, to_node: Node,
                       packet: Packet) -> None:
@@ -479,12 +517,22 @@ class Network:
 
     def _deliver_local(self, node: Node, packet: Packet) -> None:
         if isinstance(node, Host):
+            trace = self.trace
+            if trace is not None and trace.active:
+                trace.emit("deliver", self.now, node=node.name,
+                           flow=_flow_id(packet),
+                           proto=packet.flow_key()[0])
             node.deliver(packet, self.now)
 
     def _arrive(self, node: Node, packet: Packet) -> None:
         """A packet arrives at *node*: terminate, or route onward."""
         if isinstance(node, Host):
             if node.owns_ip(packet.dst):
+                trace = self.trace
+                if trace is not None and trace.active:
+                    trace.emit("deliver", self.now, node=node.name,
+                               flow=_flow_id(packet),
+                               proto=packet.flow_key()[0])
                 node.deliver(packet, self.now)
             else:
                 # Hosts do not forward.
@@ -501,6 +549,11 @@ class Network:
             tap.on_copy(packet.clone(), self.now, router)
 
         packet.ttl -= 1
+
+        trace = self.trace
+        if trace is not None and trace.active:
+            trace.emit("hop", self.now, node=router.name,
+                       flow=_flow_id(packet), ttl=packet.ttl, dst=packet.dst)
 
         # Inline middleboxes inspect after the decrement but before the
         # expiry check: a censored request never produces ICMP errors
@@ -519,6 +572,10 @@ class Network:
                 )
 
         if packet.ttl <= 0:
+            if trace is not None and trace.active:
+                trace.emit("ttl-exceeded", self.now, node=router.name,
+                           flow=_flow_id(packet),
+                           icmp=not router.anonymized)
             if not router.anonymized:
                 reply = make_time_exceeded(router.ip, packet)
                 self.transmit(router, reply)
@@ -566,6 +623,11 @@ class Network:
         Wiretap middleboxes use this to race their crafted responses
         against the genuine server reply.
         """
+        trace = self.trace
+        if trace is not None and trace.active:
+            trace.emit("inject", self.now, node=router.name,
+                       flow=_flow_id(packet), proto=packet.flow_key()[0],
+                       src=packet.src)
         self.transmit(router, packet)
 
     def middleboxes_on_path(self, from_node: Node, dst_ip: str,

@@ -1,0 +1,351 @@
+"""Campaign run reports: journal + timings + metrics, rendered.
+
+``repro report <run-dir>`` turns a campaign run directory into a
+Markdown report (``report.md``) plus a machine-readable twin
+(``report.json``).  Both are split the same way the metrics sidecar
+is:
+
+* a **deterministic** half — unit outcomes, per-ISP coverage deltas
+  against the paper's committed Table 2 expectations, drops by reason,
+  the fault-injection summary, trace-event counts — identical between
+  a serial and a ``--workers N`` run of the same campaign;
+* a **wall** half — slowest units, total wall time, simulated events
+  per second — which varies run to run and machine to machine.
+
+Tests compare two runs' reports with the wall half stripped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional, Tuple
+
+#: Units shown in the slowest-units table.
+SLOWEST_SHOWN = 5
+
+
+class ReportError(RuntimeError):
+    """The run directory is missing or unreadable."""
+
+
+def load_run(run_dir: str) -> Dict:
+    """Parse everything a run directory holds into plain dicts."""
+    journal_path = os.path.join(run_dir, "journal.jsonl")
+    if not os.path.exists(journal_path):
+        raise ReportError(
+            f"{run_dir!r} is not a campaign run directory "
+            f"(no journal.jsonl)")
+    from ..runner.journal import Journal
+
+    records, discarded = Journal.load(journal_path)
+    meta: Dict = {}
+    end: Dict = {}
+    latest: Dict[Tuple[str, str], Dict] = {}
+    for rec in records:
+        kind = rec.get("type")
+        if kind == "meta":
+            meta = rec
+        elif kind == "unit":
+            latest[(rec["experiment"], rec["unit"])] = rec
+        elif kind == "end":
+            end = rec
+    return {
+        "run_dir": run_dir,
+        "meta": meta,
+        "end": end,
+        "units": latest,
+        "discarded": discarded,
+        "timings": _read_jsonl(os.path.join(run_dir, "timings.jsonl")),
+        "metrics": _read_json(os.path.join(run_dir, "metrics.json")),
+        "trace_lines": _read_lines(os.path.join(run_dir, "trace.jsonl")),
+    }
+
+
+def _read_jsonl(path: str) -> List[Dict]:
+    if not os.path.exists(path):
+        return []
+    entries = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                try:
+                    entries.append(json.loads(line))
+                except ValueError:
+                    continue
+    return entries
+
+
+def _read_json(path: str) -> Optional[Dict]:
+    if not os.path.exists(path):
+        return None
+    with open(path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _read_lines(path: str) -> List[str]:
+    if not os.path.exists(path):
+        return []
+    with open(path, encoding="utf-8") as fh:
+        return [line.rstrip("\n") for line in fh if line.strip()]
+
+
+# ---------------------------------------------------------------------------
+# Report data (the JSON twin)
+# ---------------------------------------------------------------------------
+
+def generate_report(run_dir: str) -> Dict:
+    """The full report as a JSON-able dict: deterministic + wall."""
+    run = load_run(run_dir)
+    return {
+        "deterministic": _deterministic_half(run),
+        "wall": _wall_half(run),
+    }
+
+
+def _deterministic_half(run: Dict) -> Dict:
+    meta = run["meta"]
+    counts: Dict[str, int] = {}
+    by_experiment: Dict[str, Dict[str, str]] = {}
+    for (experiment, unit), rec in sorted(run["units"].items()):
+        status = rec.get("status", "unknown")
+        counts[status] = counts.get(status, 0) + 1
+        by_experiment.setdefault(experiment, {})[unit] = status
+    metrics = run["metrics"] or {}
+    deterministic_metrics = metrics.get("deterministic") or {}
+    return {
+        "meta": {key: meta.get(key) for key in
+                 ("seed", "scale", "fraction", "experiments", "loss",
+                  "fault_seed", "retries", "unit_steps", "version")},
+        "end_status": run["end"].get("status"),
+        "unit_counts": counts,
+        "units": by_experiment,
+        "coverage": _coverage_deltas(run),
+        "drops": _drops(deterministic_metrics),
+        "faults": _fault_summary(meta, deterministic_metrics),
+        "trace": _trace_summary(run["trace_lines"]),
+        "metrics": deterministic_metrics,
+        "discarded_journal_lines": run["discarded"],
+    }
+
+
+def _wall_half(run: Dict) -> Dict:
+    timings = run["timings"]
+    slowest = sorted(timings, key=lambda t: t.get("wall", 0.0),
+                     reverse=True)[:SLOWEST_SHOWN]
+    total_wall = round(sum(t.get("wall", 0.0) for t in timings), 3)
+    metrics = run["metrics"] or {}
+    return {
+        "total_wall_seconds": total_wall,
+        "slowest_units": slowest,
+        "metrics": metrics.get("wall") or {},
+    }
+
+
+def _coverage_deltas(run: Dict) -> List[Dict]:
+    """Measured Table 2 coverage vs the paper's committed expectations.
+
+    Table 2 unit payload rows are
+    ``[isp, inside%, outside%, type, blocked, paper-cell]``; the
+    expectations are the committed ``PAPER_TABLE2`` constants.
+    """
+    from ..experiments.table2_http import PAPER_TABLE2
+
+    deltas = []
+    for (experiment, unit), rec in sorted(run["units"].items()):
+        if experiment != "table2" or rec.get("status") not in (
+                "ok", "degraded"):
+            continue
+        payload = rec.get("payload") or {}
+        for row in payload.get("rows", ()):
+            if not row or row[0] not in PAPER_TABLE2:
+                continue
+            isp = row[0]
+            expected_in, expected_out, expected_kind, _ = PAPER_TABLE2[isp]
+            measured_in = _as_float(row[1])
+            measured_out = _as_float(row[2])
+            entry = {
+                "isp": isp,
+                "inside": measured_in,
+                "outside": measured_out,
+                "type": row[3] if len(row) > 3 else None,
+                "paper_inside": expected_in,
+                "paper_outside": expected_out,
+                "paper_type": expected_kind,
+            }
+            if measured_in is not None:
+                entry["inside_delta"] = round(measured_in - expected_in, 1)
+            if measured_out is not None:
+                entry["outside_delta"] = round(
+                    measured_out - expected_out, 1)
+            deltas.append(entry)
+    return deltas
+
+
+def _as_float(cell) -> Optional[float]:
+    try:
+        return float(cell)
+    except (TypeError, ValueError):
+        return None
+
+
+def _drops(metrics: Dict) -> Dict[str, int]:
+    """``reason -> count`` folded from ``netsim_drops_total`` metrics."""
+    drops: Dict[str, int] = {}
+    for key, value in (metrics.get("counters") or {}).items():
+        if key.startswith("netsim_drops_total{"):
+            labels = _labels(key)
+            reason = labels.get("reason", "unknown")
+            drops[reason] = drops.get(reason, 0) + value
+    return dict(sorted(drops.items()))
+
+
+def _fault_summary(meta: Dict, metrics: Dict) -> Dict:
+    counters = metrics.get("counters") or {}
+    blind = sum(value for key, value in counters.items()
+                if key.startswith("middlebox_fault_blind_total{"))
+    retries = sum(value for key, value in counters.items()
+                  if key.startswith("client_retries_total{"))
+    return {
+        "loss": meta.get("loss"),
+        "fault_seed": meta.get("fault_seed"),
+        "retries_configured": meta.get("retries"),
+        "middlebox_blind_windows": blind,
+        "client_retries": retries,
+    }
+
+
+def _trace_summary(lines: List[str]) -> Optional[Dict]:
+    if not lines:
+        return None
+    by_kind: Dict[str, int] = {}
+    for line in lines:
+        try:
+            kind = json.loads(line).get("kind", "unknown")
+        except ValueError:
+            kind = "unparseable"
+        by_kind[kind] = by_kind.get(kind, 0) + 1
+    return {"events": len(lines), "by_kind": dict(sorted(by_kind.items()))}
+
+
+def _labels(key: str) -> Dict[str, str]:
+    """Parse a ``name{k=v,...}`` metric key's labels."""
+    if "{" not in key:
+        return {}
+    inner = key[key.index("{") + 1:key.rindex("}")]
+    labels = {}
+    for pair in inner.split(","):
+        if "=" in pair:
+            name, value = pair.split("=", 1)
+            labels[name] = value
+    return labels
+
+
+# ---------------------------------------------------------------------------
+# Markdown rendering
+# ---------------------------------------------------------------------------
+
+def render_markdown(data: Dict, run_dir: str = "") -> str:
+    det = data["deterministic"]
+    wall = data["wall"]
+    lines: List[str] = [f"# Campaign report: {run_dir or 'run'}", ""]
+
+    meta = det["meta"]
+    lines += [
+        "## Run",
+        "",
+        f"- seed: {meta.get('seed')}  ·  scale: {meta.get('scale')}  ·  "
+        f"fraction: {meta.get('fraction')}",
+        f"- experiments: {', '.join(meta.get('experiments') or [])}",
+        f"- end status: {det.get('end_status') or '(no end record)'}",
+        "",
+    ]
+
+    counts = det["unit_counts"]
+    lines += ["## Units", ""]
+    lines += [f"- {status}: {count}"
+              for status, count in sorted(counts.items())]
+    if det.get("discarded_journal_lines"):
+        lines.append(f"- journal lines discarded on resume: "
+                     f"{det['discarded_journal_lines']}")
+    lines.append("")
+
+    coverage = det["coverage"]
+    if coverage:
+        lines += [
+            "## Coverage vs paper (Table 2)",
+            "",
+            "| ISP | inside % | Δ | outside % | Δ | type (paper) |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in coverage:
+            delta_in = row.get("inside_delta")
+            delta_out = row.get("outside_delta")
+            lines.append(
+                f"| {row['isp']} | {row['inside']} | "
+                f"{_fmt_delta(delta_in)} | {row['outside']} | "
+                f"{_fmt_delta(delta_out)} | "
+                f"{row['type']} ({row['paper_type']}) |")
+        lines.append("")
+
+    drops = det["drops"]
+    if drops:
+        lines += ["## Drops by reason", ""]
+        lines += [f"- {reason}: {count}"
+                  for reason, count in drops.items()]
+        lines.append("")
+
+    faults = det["faults"]
+    lines += [
+        "## Fault injection",
+        "",
+        f"- loss: {faults['loss']}  ·  fault seed: "
+        f"{faults['fault_seed']}  ·  retries: "
+        f"{faults['retries_configured']}",
+        f"- middlebox blind windows: {faults['middlebox_blind_windows']}"
+        f"  ·  client retries: {faults['client_retries']}",
+        "",
+    ]
+
+    trace = det["trace"]
+    if trace:
+        lines += ["## Trace", "",
+                  f"- events recorded: {trace['events']}"]
+        lines += [f"- {kind}: {count}"
+                  for kind, count in trace["by_kind"].items()]
+        lines.append("")
+
+    lines += ["## Wall (nondeterministic)", "",
+              f"- total unit wall: {wall['total_wall_seconds']} s"]
+    gauges = (wall.get("metrics") or {}).get("gauges") or {}
+    eps = gauges.get("campaign_events_per_second")
+    if eps is not None:
+        lines.append(f"- simulated events/second: {eps}")
+    if wall["slowest_units"]:
+        lines += ["", "| unit | status | wall (s) |", "|---|---|---|"]
+        lines += [
+            f"| {t.get('experiment')}:{t.get('unit')} | "
+            f"{t.get('status')} | {t.get('wall')} |"
+            for t in wall["slowest_units"]
+        ]
+    lines.append("")
+    return "\n".join(lines)
+
+
+def _fmt_delta(delta: Optional[float]) -> str:
+    return f"{delta:+}" if delta is not None else "-"
+
+
+def write_report(run_dir: str) -> Tuple[str, str]:
+    """Render and write ``report.md`` + ``report.json``; return paths."""
+    data = generate_report(run_dir)
+    md_path = os.path.join(run_dir, "report.md")
+    json_path = os.path.join(run_dir, "report.json")
+    with open(md_path, "w", encoding="utf-8") as fh:
+        fh.write(render_markdown(data, run_dir=os.path.basename(
+            os.path.normpath(run_dir))))
+    with open(json_path, "w", encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return md_path, json_path

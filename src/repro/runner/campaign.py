@@ -139,6 +139,7 @@ class Campaign:
                  specs: Optional[Mapping[str, object]] = None,
                  echo_journal: bool = False,
                  workers: int = 1,
+                 trace: bool = False,
                  clock: Callable[[], float] = time.monotonic) -> None:
         from ..experiments.common import bench_fraction
 
@@ -169,6 +170,7 @@ class Campaign:
             crash_after = int(raw) if raw else None
         self.crash_after = crash_after
         self.echo_journal = echo_journal
+        self.trace = trace
         self.watchdog = Watchdog(unit_steps=unit_steps, unit_wall=unit_wall,
                                  campaign_wall=deadline, clock=clock)
 
@@ -252,6 +254,7 @@ class Campaign:
             loss=self.loss, fault_seed=self.fault_seed,
             retries=self.retries, unit_steps=self.unit_steps,
             unit_wall=self.watchdog.unit_wall,
+            trace=self.trace,
         )
 
     def _fresh_world(self):
@@ -266,8 +269,20 @@ class Campaign:
             pass
 
     def _commit(self, journal: Journal, experiment: str, unit: Unit,
-                record: Dict, wall: float) -> None:
-        """Durably journal one unit record, timing in the sidecar."""
+                record: Dict, wall: float,
+                extras: Optional[Dict] = None) -> None:
+        """Durably journal one unit record; observability in sidecars.
+
+        The journal record is untouched by observability — metrics
+        merge into the in-memory registries (flushed to
+        ``metrics.json`` at the end) and trace lines append to
+        ``trace.jsonl``.  Because this runs in canonical commit order
+        for every worker count, both sidecars byte-compare between
+        serial and ``--workers N`` runs (wall timings excepted — they
+        live in ``timings.jsonl`` and the metrics "wall" section).
+        """
+        from ..obs.metrics import WALL_BUCKETS
+
         self._append(journal, record)
         try:
             with open(os.path.join(self.run_dir, "timings.jsonl"),
@@ -279,15 +294,39 @@ class Campaign:
                 }) + "\n")
         except OSError:  # pragma: no cover - diagnostics only
             pass
+        self._metrics_wall.histogram(
+            "campaign_unit_wall_seconds", WALL_BUCKETS,
+            experiment=experiment).observe(wall)
+        self._wall_total += wall
+        self._steps_total += record.get("steps") or 0
+        if extras is None:
+            return
+        snapshot = extras.get("metrics")
+        if snapshot is not None:
+            self._metrics_det.merge(snapshot)
+        lines = extras.get("trace")
+        if lines:
+            try:
+                with open(os.path.join(self.run_dir, "trace.jsonl"),
+                          "a", encoding="utf-8") as fh:
+                    fh.write("\n".join(lines) + "\n")
+            except OSError:  # pragma: no cover - diagnostics only
+                pass
 
     # ------------------------------------------------------------------
     # The run
     # ------------------------------------------------------------------
 
     def run(self) -> CampaignReport:
+        from ..obs.metrics import MetricsRegistry
+
         os.makedirs(self.run_dir, exist_ok=True)
         journal, prior, discarded = self._open_journal()
         self._journal = journal
+        self._metrics_det = MetricsRegistry()
+        self._metrics_wall = MetricsRegistry()
+        self._wall_total = 0.0
+        self._steps_total = 0
         units_by_exp: Dict[str, List[Unit]] = {
             key: list(module.units())
             for key, module in self.registry.items()
@@ -350,12 +389,12 @@ class Campaign:
             if deadline_hit is not None:
                 continue
             try:
-                record, wall = execute_unit(settings, key, unit,
-                                            self.watchdog)
+                record, wall, extras = execute_unit(settings, key, unit,
+                                                    self.watchdog)
             except FatalUnitError as exc:
                 self._journal_failed_fatal(exc.record)
                 raise exc.original
-            self._commit(journal, key, unit, record, wall)
+            self._commit(journal, key, unit, record, wall, extras)
             executed += 1
             self._crash_if_injected(executed)
         return deadline_hit
@@ -387,13 +426,13 @@ class Campaign:
                 deadline_hit = self._check_deadline(deadline_hit)
                 if deadline_hit is not None:
                     break
-                record, wall, fatal = future.result()
+                record, wall, extras, fatal = future.result()
                 if fatal:
                     self._journal_failed_fatal(record)
                     raise CampaignError(
                         f"fatal error in unit {key}:{record['unit']}: "
                         f"{record['error']['reason']}")
-                self._commit(journal, key, unit, record, wall)
+                self._commit(journal, key, unit, record, wall, extras)
                 executed += 1
                 self._crash_if_injected(executed)
         finally:
@@ -442,6 +481,7 @@ class Campaign:
         tables = self._assemble(units_by_exp, latest)
         with open(self.tables_path, "w", encoding="utf-8") as fh:
             fh.write(tables)
+        self._write_metrics(counts)
         return CampaignReport(
             run_dir=self.run_dir,
             journal_path=self.journal_path,
@@ -452,6 +492,35 @@ class Campaign:
             discarded_journal_lines=discarded,
             deadline_hit=deadline_hit,
         )
+
+    def _write_metrics(self, counts: Dict[str, int]) -> None:
+        """Flush the run's metrics to the ``metrics.json`` sidecar.
+
+        Split into a ``deterministic`` section (identical between
+        serial and ``--workers N`` runs of the same campaign) and a
+        ``wall`` section (timing-derived, varies run to run).  Covers
+        the units executed *by this invocation* — a resumed campaign's
+        metrics describe the resumed units only.
+        """
+        for status, count in sorted(counts.items()):
+            if status != "total" and count:
+                self._metrics_det.counter(
+                    "campaign_units_total", status=status).inc(count)
+        if self._wall_total > 0:
+            self._metrics_wall.gauge("campaign_wall_seconds").set(
+                round(self._wall_total, 3))
+            self._metrics_wall.gauge("campaign_events_per_second").set(
+                round(self._steps_total / self._wall_total, 1))
+        try:
+            with open(os.path.join(self.run_dir, "metrics.json"),
+                      "w", encoding="utf-8") as fh:
+                json.dump({
+                    "deterministic": self._metrics_det.snapshot(),
+                    "wall": self._metrics_wall.snapshot(),
+                }, fh, indent=2, sort_keys=True)
+                fh.write("\n")
+        except OSError:  # pragma: no cover - diagnostics only
+            pass
 
     def _assemble(self, units_by_exp, latest) -> str:
         from ..experiments.common import format_table

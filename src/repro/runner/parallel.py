@@ -50,6 +50,11 @@ class UnitSettings:
     retries: Optional[int] = None
     unit_steps: Optional[int] = None
     unit_wall: Optional[float] = None
+    #: Attach a trace bus to every unit world and return the buffered
+    #: events through the result channel (``--trace``).
+    trace: bool = False
+    #: Per-unit event cap (fixed so truncation is deterministic).
+    trace_limit: int = 100_000
 
 
 class FatalUnitError(Exception):
@@ -87,22 +92,44 @@ def build_unit_world(settings: UnitSettings):
 
 
 def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
-                 watchdog: Watchdog) -> Tuple[Dict, float]:
-    """Run one unit; returns ``(journal record, wall seconds)``.
+                 watchdog: Watchdog) -> Tuple[Dict, float, Dict]:
+    """Run one unit; returns ``(journal record, wall seconds, extras)``.
 
     The record carries only deterministic fields (status, payload,
     simulated-step count); the wall measurement rides separately so
     journals stay byte-identical across runs and execution modes.
+    ``extras`` is the observability side channel — never journaled:
+
+    * ``extras["metrics"]`` — a deterministic
+      :meth:`~repro.obs.metrics.MetricsRegistry.snapshot` of the
+      unit's world (cache hit rates, drops by reason, middlebox and
+      DNS counters), merged by the campaign in canonical commit order;
+    * ``extras["trace"]`` — when ``settings.trace`` is set, the unit's
+      buffered trace events as canonical JSON lines (else ``None``).
+
     Fatal (programming) errors raise :class:`FatalUnitError` wrapping
     the half-built record.
     """
     from ..experiments.common import domain_sample
+    from ..obs.metrics import (MetricsRegistry, STEP_BUCKETS,
+                               collect_world_metrics)
 
     record: Dict = {"type": "unit", "experiment": experiment,
                     "unit": unit.name, "payload": None,
                     "error": None, "timeout": None}
     start = time.monotonic()
     world = build_unit_world(settings)
+    sink = None
+    if settings.trace:
+        from ..obs.trace import BufferSink, TraceBus
+
+        bus = TraceBus()
+        sink = BufferSink(limit=settings.trace_limit)
+        bus.subscribe(sink)
+        bus.corr = f"{experiment}/{unit.name}"
+        world.network.trace = bus
+        bus.emit("unit-start", world.network.now,
+                 experiment=experiment, unit=unit.name)
     domains = domain_sample(world, settings.fraction)
     watchdog.begin_unit(world.network)
     try:
@@ -128,7 +155,16 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
     finally:
         steps = watchdog.end_unit()
     record["steps"] = steps
-    return record, time.monotonic() - start
+    registry = MetricsRegistry()
+    collect_world_metrics(registry, world, experiment=experiment)
+    if steps is not None:
+        registry.histogram("campaign_unit_steps", STEP_BUCKETS,
+                           experiment=experiment).observe(steps)
+    extras = {
+        "metrics": registry.snapshot(),
+        "trace": sink.lines() if sink is not None else None,
+    }
+    return record, time.monotonic() - start, extras
 
 
 # ---------------------------------------------------------------------------
@@ -167,13 +203,13 @@ def _resolve_unit(experiment: str, unit_name: str) -> Unit:
 
 
 def run_unit_task(experiment: str, unit_name: str
-                  ) -> Tuple[Dict, float, bool]:
+                  ) -> Tuple[Dict, float, Dict, bool]:
     """Pool task: execute one unit in this worker process.
 
-    Returns ``(record, wall, fatal)``.  Fatal errors are folded into
-    the returned record (with ``fatal=True``) rather than raised, so
-    the parent can journal the crash durably — mirroring the serial
-    path — before aborting the campaign.
+    Returns ``(record, wall, extras, fatal)``.  Fatal errors are
+    folded into the returned record (with ``fatal=True``) rather than
+    raised, so the parent can journal the crash durably — mirroring
+    the serial path — before aborting the campaign.
     """
     settings: UnitSettings = _WORKER["settings"]
     unit = _resolve_unit(experiment, unit_name)
@@ -183,7 +219,8 @@ def run_unit_task(experiment: str, unit_name: str
     watchdog = Watchdog(unit_steps=settings.unit_steps,
                         unit_wall=settings.unit_wall)
     try:
-        record, wall = execute_unit(settings, experiment, unit, watchdog)
+        record, wall, extras = execute_unit(settings, experiment, unit,
+                                            watchdog)
     except FatalUnitError as exc:
-        return exc.record, 0.0, True
-    return record, wall, False
+        return exc.record, 0.0, {"metrics": None, "trace": None}, True
+    return record, wall, extras, False

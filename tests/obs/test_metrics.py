@@ -1,0 +1,157 @@
+"""Unit tests for the metrics registry and scrapers."""
+
+import pytest
+
+from repro.isps import build_world
+from repro.obs.metrics import (
+    MetricsRegistry,
+    STEP_BUCKETS,
+    WALL_BUCKETS,
+    collect_network_metrics,
+    collect_world_metrics,
+    metric_key,
+)
+
+
+class TestMetricKey:
+    def test_bare_name_without_labels(self):
+        assert metric_key("events_total", {}) == "events_total"
+
+    def test_labels_sorted(self):
+        key = metric_key("drops", {"reason": "loss", "isp": "airtel"})
+        assert key == "drops{isp=airtel,reason=loss}"
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        registry.counter("events").inc(4)
+        assert registry.snapshot()["counters"]["events"] == 5
+
+    def test_gauge_holds_last_value(self):
+        registry = MetricsRegistry()
+        registry.gauge("eps").set(120.5)
+        registry.gauge("eps").set(99.0)
+        assert registry.snapshot()["gauges"]["eps"] == 99.0
+
+    def test_histogram_fixed_buckets(self):
+        registry = MetricsRegistry()
+        hist = registry.histogram("steps", (10, 100))
+        for value in (5, 10, 11, 1000):
+            hist.observe(value)
+        snap = registry.snapshot()["histograms"]["steps"]
+        assert snap["bounds"] == [10, 100]
+        assert snap["counts"] == [2, 1, 1]  # <=10, <=100, overflow
+        assert snap["count"] == 4
+        assert snap["sum"] == 1026
+
+    def test_histogram_redeclared_bounds_rejected(self):
+        registry = MetricsRegistry()
+        registry.histogram("steps", (10, 100))
+        with pytest.raises(ValueError, match="different bounds"):
+            registry.histogram("steps", (1, 2))
+
+    def test_labelled_instruments_are_distinct(self):
+        registry = MetricsRegistry()
+        registry.counter("drops", reason="loss").inc(3)
+        registry.counter("drops", reason="ttl").inc(1)
+        counters = registry.snapshot()["counters"]
+        assert counters["drops{reason=loss}"] == 3
+        assert counters["drops{reason=ttl}"] == 1
+
+
+class TestMerge:
+    def _registry_with(self, counter_value, observation):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(counter_value)
+        registry.gauge("peak").set(counter_value)
+        registry.histogram("steps", (10, 100)).observe(observation)
+        return registry
+
+    def test_merge_adds_counters_and_histograms_maxes_gauges(self):
+        a = self._registry_with(5, 7)
+        b = self._registry_with(3, 500)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        merged.merge(b.snapshot())
+        snap = merged.snapshot()
+        assert snap["counters"]["events"] == 8
+        assert snap["gauges"]["peak"] == 5
+        assert snap["histograms"]["steps"]["counts"] == [1, 0, 1]
+        assert snap["histograms"]["steps"]["count"] == 2
+
+    def test_merge_order_independent(self):
+        parts = [self._registry_with(n, n * 10).snapshot()
+                 for n in (1, 2, 3)]
+        forward = MetricsRegistry()
+        for part in parts:
+            forward.merge(part)
+        backward = MetricsRegistry()
+        for part in reversed(parts):
+            backward.merge(part)
+        assert forward.snapshot() == backward.snapshot()
+
+    def test_merge_rejects_bounds_mismatch(self):
+        a = MetricsRegistry()
+        a.histogram("steps", (10,)).observe(1)
+        b = MetricsRegistry()
+        b.histogram("steps", (20,)).observe(1)
+        merged = MetricsRegistry()
+        merged.merge(a.snapshot())
+        with pytest.raises(ValueError, match="bounds differ"):
+            merged.merge(b.snapshot())
+
+    def test_render_lines(self):
+        registry = self._registry_with(2, 5)
+        lines = registry.render_lines()
+        assert any(line.startswith("events 2") for line in lines)
+        assert any("count=1" in line for line in lines)
+
+
+class TestCollectors:
+    @pytest.fixture(scope="class")
+    def world(self):
+        return build_world(seed=11, scale=0.05)
+
+    def test_network_metrics_scraped(self, world):
+        from repro.httpsim import fetch_url
+
+        client = world.client_of("airtel")
+        domain = next(iter(sorted(world.blocklists.http["airtel"])))
+        dst_ip = world.hosting.ip_for(domain, "in")
+        fetch_url(world.network, client, dst_ip, domain)
+
+        registry = MetricsRegistry()
+        collect_network_metrics(registry, world.network)
+        counters = registry.snapshot()["counters"]
+        assert counters["netsim_events_total"] > 0
+        assert counters["netsim_fib_builds_total"] >= 1
+
+    def test_world_metrics_include_middleboxes_and_dns(self, world):
+        from repro.dnssim import dns_lookup
+
+        deployment = world.isp("mtnl")
+        dns_lookup(world.network, deployment.client,
+                   deployment.default_resolver_ip, "example.in")
+
+        registry = MetricsRegistry()
+        collect_world_metrics(registry, world)
+        counters = registry.snapshot()["counters"]
+        assert any(key.startswith("middlebox_inspected_total{")
+                   for key in counters)
+        assert counters["dns_queries_total{isp=mtnl}"] >= 1
+
+    def test_poisoned_answer_counter(self, world):
+        from repro.dnssim import dns_lookup
+
+        deployment = world.isp("mtnl")
+        resolvers = dict(deployment.resolvers)
+        poisoned_ip = next(
+            ip for ip, service in resolvers.items()
+            if service.config.blocklist)
+        service = resolvers[poisoned_ip]
+        blocked = next(iter(sorted(service.config.blocklist)))
+        before = service.poisoned_answers
+        dns_lookup(world.network, deployment.client, poisoned_ip, blocked)
+        assert service.poisoned_answers == before + 1

@@ -94,13 +94,15 @@ class TestWorkerTask:
     def test_run_unit_task_round_trip(self):
         worker_initializer(UnitSettings(seed=1808, scale=SCALE,
                                         fraction=1.0))
-        record, wall, fatal = run_unit_task("tcpip", "mtnl")
+        record, wall, extras, fatal = run_unit_task("tcpip", "mtnl")
         assert not fatal
         assert record["status"] == "ok"
         assert record["experiment"] == "tcpip"
         assert record["unit"] == "mtnl"
         assert record["payload"]["rows"]
         assert wall >= 0.0
+        assert extras["trace"] is None  # tracing off by default
+        assert extras["metrics"]["counters"]
 
     def test_unknown_unit_raises(self):
         worker_initializer(UnitSettings(seed=1808, scale=SCALE,

@@ -1,0 +1,43 @@
+"""The documentation stays consistent with the code (tools/check_docs)."""
+
+import importlib.util
+import os
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_docs", os.path.join(REPO_ROOT, "tools", "check_docs.py"))
+check_docs = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(check_docs)
+
+#: Every page docs/README.md must index.
+DOC_PAGES = ("OBSERVABILITY.md", "CAMPAIGNS.md", "FAULTS.md",
+             "FUZZING.md", "PERFORMANCE.md", "PAPER_MAP.md")
+
+
+def test_all_markdown_clean():
+    """Links resolve and every documented subcommand exists."""
+    assert check_docs.main() == 0
+
+
+def test_docs_index_lists_every_page():
+    index_path = os.path.join(REPO_ROOT, "docs", "README.md")
+    assert os.path.exists(index_path), "docs/README.md index missing"
+    index = open(index_path, encoding="utf-8").read()
+    for page in DOC_PAGES:
+        assert page in index, f"docs/README.md does not index {page}"
+        assert os.path.exists(os.path.join(REPO_ROOT, "docs", page)), \
+            f"indexed page docs/{page} missing"
+
+
+def test_top_level_readme_links_docs_index():
+    readme = open(os.path.join(REPO_ROOT, "README.md"),
+                  encoding="utf-8").read()
+    assert "docs/README.md" in readme
+    assert "docs/OBSERVABILITY.md" in readme
+
+
+def test_cli_subcommand_introspection():
+    known = check_docs.cli_subcommands()
+    assert {"info", "experiment", "campaign", "report", "fuzz",
+            "fetch", "evade", "trace"} <= known

@@ -1,0 +1,86 @@
+"""Unit tests for the perf-trajectory record/check tool."""
+
+import importlib.util
+import json
+import os
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "perf_trajectory",
+    os.path.join(os.path.dirname(__file__), "..", "benchmarks",
+                 "perf_trajectory.py"))
+perf_trajectory = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(perf_trajectory)
+
+
+def _raw(tmp_path, medians):
+    """A minimal pytest-benchmark JSON with the given case medians."""
+    path = tmp_path / "bench-raw.json"
+    path.write_text(json.dumps({
+        "benchmarks": [{"name": name, "stats": {"median": median}}
+                       for name, median in medians.items()]
+    }))
+    return str(path)
+
+
+class TestRecord:
+    def test_creates_baseline_when_none_exists(self, tmp_path, capsys):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        baseline = tmp_path / "BENCH_simulator.json"
+        assert not baseline.exists()
+        status = perf_trajectory.main(["record", raw, str(baseline)])
+        assert status == 0
+        assert "created" in capsys.readouterr().out
+        payload = json.loads(baseline.read_text())
+        assert payload["cases"] == {"test_sweep": 2000000.0}
+
+    def test_creates_missing_parent_directory(self, tmp_path):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        baseline = tmp_path / "not" / "yet" / "BENCH_simulator.json"
+        status = perf_trajectory.main(["record", raw, str(baseline)])
+        assert status == 0
+        assert baseline.exists()
+
+    def test_refreshes_existing_baseline(self, tmp_path, capsys):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        baseline = tmp_path / "BENCH_simulator.json"
+        perf_trajectory.main(["record", raw, str(baseline)])
+        capsys.readouterr()
+        status = perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.003}),
+            str(baseline)])
+        assert status == 0
+        assert "refreshed" in capsys.readouterr().out
+
+    def test_baseline_argument_defaults(self):
+        assert perf_trajectory.DEFAULT_BASELINE == "BENCH_simulator.json"
+
+
+class TestCheck:
+    def test_missing_baseline_suggests_record(self, tmp_path):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        missing = str(tmp_path / "BENCH_simulator.json")
+        with pytest.raises(SystemExit, match="record"):
+            perf_trajectory.main(["check", raw, missing])
+
+    def test_within_threshold_passes(self, tmp_path):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main(["record", raw, baseline])
+        slower = _raw(tmp_path, {"test_sweep": 0.003})
+        assert perf_trajectory.main(["check", slower, baseline]) == 0
+
+    def test_regression_fails(self, tmp_path):
+        raw = _raw(tmp_path, {"test_sweep": 0.002})
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main(["record", raw, baseline])
+        regressed = _raw(tmp_path, {"test_sweep": 0.005})
+        assert perf_trajectory.main(["check", regressed, baseline]) == 1
+
+    def test_empty_raw_rejected(self, tmp_path):
+        empty = tmp_path / "empty.json"
+        empty.write_text(json.dumps({"benchmarks": []}))
+        with pytest.raises(SystemExit, match="no benchmarks"):
+            perf_trajectory.main(["check", str(empty),
+                                  str(tmp_path / "b.json")])

@@ -1,0 +1,118 @@
+"""Documentation consistency checker (run by the CI docs job).
+
+Two checks over the repository's Markdown:
+
+1. **Links resolve.**  Every intra-repo link target (relative path,
+   ``#anchor`` stripped) must exist on disk.  External links
+   (``http(s)://``, ``mailto:``) and pure-anchor links are skipped.
+2. **CLI references are real.**  Every ``repro <subcommand>`` named in
+   a code span or fenced code block must be a subcommand that
+   ``repro.cli.build_parser`` actually registers — docs can't drift
+   ahead of (or behind) the CLI.
+
+Usage::
+
+    python tools/check_docs.py          # check, exit 1 on any problem
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+
+#: Markdown that documents the project (working notes like ISSUE.md,
+#: SNIPPETS.md and the paper dumps are deliberately out of scope).
+DOC_FILES = (
+    "README.md",
+    "DESIGN.md",
+    "EXPERIMENTS.md",
+    "ROADMAP.md",
+)
+DOC_DIRS = ("docs",)
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+_CODE_SPAN = re.compile(r"`[^`]+`")
+_CLI_REF = re.compile(r"(?:python -m\s+)?\brepro\s+([a-z][a-z-]*)")
+
+
+def doc_paths() -> list:
+    paths = [os.path.join(REPO_ROOT, name) for name in DOC_FILES]
+    for dirname in DOC_DIRS:
+        root = os.path.join(REPO_ROOT, dirname)
+        for entry in sorted(os.listdir(root)):
+            if entry.endswith(".md"):
+                paths.append(os.path.join(root, entry))
+    return [path for path in paths if os.path.exists(path)]
+
+
+def check_links(path: str, text: str) -> list:
+    """Relative link targets that don't exist, as error strings."""
+    errors = []
+    for match in _LINK.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        target = target.split("#", 1)[0]
+        if not target:
+            continue
+        resolved = os.path.normpath(
+            os.path.join(os.path.dirname(path), target))
+        if not os.path.exists(resolved):
+            line = text[:match.start()].count("\n") + 1
+            errors.append(f"{os.path.relpath(path, REPO_ROOT)}:{line}: "
+                          f"broken link -> {target}")
+    return errors
+
+
+def cli_subcommands() -> set:
+    """The subcommand names build_parser registers, introspected."""
+    sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return set(action.choices)
+    raise SystemExit("repro.cli.build_parser() has no subparsers")
+
+
+def check_cli_refs(path: str, text: str, known: set) -> list:
+    """``repro <word>`` mentions in code that name no real subcommand."""
+    errors = []
+    snippets = _FENCE.findall(text) + _CODE_SPAN.findall(text)
+    for snippet in snippets:
+        for match in _CLI_REF.finditer(snippet):
+            word = match.group(1)
+            if word not in known:
+                errors.append(
+                    f"{os.path.relpath(path, REPO_ROOT)}: documented "
+                    f"subcommand `repro {word}` does not exist in cli.py "
+                    f"(known: {', '.join(sorted(known))})")
+    return errors
+
+
+def main() -> int:
+    known = cli_subcommands()
+    errors = []
+    paths = doc_paths()
+    for path in paths:
+        with open(path, "r", encoding="utf-8") as fh:
+            text = fh.read()
+        errors.extend(check_links(path, text))
+        errors.extend(check_cli_refs(path, text, known))
+    for error in errors:
+        print(error)
+    if errors:
+        print(f"FAIL: {len(errors)} documentation problem(s) "
+              f"in {len(paths)} file(s)")
+        return 1
+    print(f"ok: {len(paths)} Markdown file(s), all links resolve, "
+          f"all CLI references exist ({', '.join(sorted(known))})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
