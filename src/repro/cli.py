@@ -39,6 +39,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
 from typing import Optional
 
@@ -115,6 +116,16 @@ def build_parser() -> argparse.ArgumentParser:
                                "in canonical unit order, so output is "
                                "byte-identical to --workers 1 "
                                "(default: 1)")
+    campaign.add_argument("--worker-memory-mb", type=int, default=None,
+                          metavar="MB",
+                          help="address-space budget per worker process "
+                               "(resource.setrlimit); a unit blowing it "
+                               "is retried in a fresh worker and "
+                               "quarantined on repeat")
+    campaign.add_argument("--max-worker-crashes", type=int, default=2,
+                          metavar="N",
+                          help="quarantine a unit after it kills N "
+                               "consecutive workers (default: 2)")
     campaign.add_argument("--journal", action="store_true",
                           help="echo journal records as they are "
                                "appended")
@@ -270,6 +281,14 @@ def _cmd_campaign(args) -> int:
     from .runner import CampaignError
     from .runner.campaign import Campaign
 
+    if args.workers < 1:
+        raise SystemExit(
+            f"repro: error: --workers must be >= 1, got {args.workers}")
+    cores = os.cpu_count()
+    if cores is not None and args.workers > cores:
+        print(f"repro: warning: --workers {args.workers} exceeds "
+              f"{cores} available CPU core(s); workers will contend",
+              file=sys.stderr)
     run_dir = args.resume if args.resume is not None else args.run_dir
     try:
         campaign = Campaign(
@@ -287,6 +306,8 @@ def _cmd_campaign(args) -> int:
             echo_journal=args.journal,
             workers=args.workers,
             trace=args.trace,
+            memory_limit_mb=args.worker_memory_mb,
+            max_worker_crashes=args.max_worker_crashes,
         )
         report = campaign.run()
     except CampaignError as exc:

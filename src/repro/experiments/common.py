@@ -133,11 +133,14 @@ class Degradation:
     timeouts: List[TimeoutDegradation] = field(default_factory=list)
     #: Units restored from a campaign journal instead of re-measured.
     resumed: int = 0
+    #: ``(unit, reason)`` for units quarantined after repeatedly
+    #: crashing their worker (see :mod:`repro.runner.supervise`).
+    quarantined: List[Tuple[str, str]] = field(default_factory=list)
 
     @property
     def partial(self) -> bool:
         """Did any unit fail outright (beyond mere retries)?"""
-        return bool(self.errors or self.timeouts)
+        return bool(self.errors or self.timeouts or self.quarantined)
 
     def record_error(self, unit: str, reason: str) -> None:
         self.errors.append((unit, reason))
@@ -145,10 +148,13 @@ class Degradation:
     def record_timeout(self, entry: TimeoutDegradation) -> None:
         self.timeouts.append(entry)
 
+    def record_quarantine(self, unit: str, reason: str) -> None:
+        self.quarantined.append((unit, reason))
+
     def describe(self) -> str:
         """One-paragraph summary for verbose rendering; "" when clean."""
         if not (self.errors or self.retries or self.timeouts
-                or self.resumed):
+                or self.resumed or self.quarantined):
             return ""
         lines = []
         if self.resumed:
@@ -159,6 +165,8 @@ class Degradation:
             lines.append(entry.describe())
         for unit, reason in self.errors:
             lines.append(f"partial: {unit}: {reason}")
+        for unit, reason in self.quarantined:
+            lines.append(f"quarantined: {unit}: {reason}")
         return "\n".join(lines)
 
 

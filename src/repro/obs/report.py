@@ -59,6 +59,8 @@ def load_run(run_dir: str) -> Dict:
         "timings": _read_jsonl(os.path.join(run_dir, "timings.jsonl")),
         "metrics": _read_json(os.path.join(run_dir, "metrics.json")),
         "trace_lines": _read_lines(os.path.join(run_dir, "trace.jsonl")),
+        "supervision": _read_jsonl(
+            os.path.join(run_dir, "supervision.jsonl")),
     }
 
 
@@ -108,10 +110,16 @@ def _deterministic_half(run: Dict) -> Dict:
     meta = run["meta"]
     counts: Dict[str, int] = {}
     by_experiment: Dict[str, Dict[str, str]] = {}
+    quarantined: List[Dict] = []
     for (experiment, unit), rec in sorted(run["units"].items()):
         status = rec.get("status", "unknown")
         counts[status] = counts.get(status, 0) + 1
         by_experiment.setdefault(experiment, {})[unit] = status
+        if status == "quarantined":
+            quarantined.append({
+                "unit": f"{experiment}:{unit}",
+                "reason": (rec.get("error") or {}).get("reason"),
+            })
     metrics = run["metrics"] or {}
     deterministic_metrics = metrics.get("deterministic") or {}
     return {
@@ -121,6 +129,7 @@ def _deterministic_half(run: Dict) -> Dict:
         "end_status": run["end"].get("status"),
         "unit_counts": counts,
         "units": by_experiment,
+        "quarantined": quarantined,
         "coverage": _coverage_deltas(run),
         "drops": _drops(deterministic_metrics),
         "faults": _fault_summary(meta, deterministic_metrics),
@@ -136,10 +145,15 @@ def _wall_half(run: Dict) -> Dict:
                      reverse=True)[:SLOWEST_SHOWN]
     total_wall = round(sum(t.get("wall", 0.0) for t in timings), 3)
     metrics = run["metrics"] or {}
+    supervision: Dict[str, int] = {}
+    for event in run["supervision"]:
+        kind = event.get("kind", "unknown")
+        supervision[kind] = supervision.get(kind, 0) + 1
     return {
         "total_wall_seconds": total_wall,
         "slowest_units": slowest,
         "metrics": metrics.get("wall") or {},
+        "supervision": dict(sorted(supervision.items())),
     }
 
 
@@ -269,6 +283,9 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
     if det.get("discarded_journal_lines"):
         lines.append(f"- journal lines discarded on resume: "
                      f"{det['discarded_journal_lines']}")
+    for entry in det.get("quarantined") or ():
+        lines.append(f"- quarantined: {entry['unit']} — "
+                     f"{entry['reason']}")
     lines.append("")
 
     coverage = det["coverage"]
@@ -322,6 +339,11 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
     eps = gauges.get("campaign_events_per_second")
     if eps is not None:
         lines.append(f"- simulated events/second: {eps}")
+    supervision = wall.get("supervision") or {}
+    if supervision:
+        lines.append("- supervision events: " + ", ".join(
+            f"{kind}: {count}"
+            for kind, count in supervision.items()))
     if wall["slowest_units"]:
         lines += ["", "| unit | status | wall (s) |", "|---|---|---|"]
         lines += [

@@ -17,6 +17,8 @@ package without a circular import.
 from .errors import (
     DEGRADABLE,
     FATAL,
+    POISON,
+    QUARANTINED,
     TRANSIENT,
     CampaignDeadline,
     CampaignError,
@@ -41,8 +43,11 @@ __all__ = [
     "FATAL",
     "Journal",
     "JournalError",
+    "POISON",
+    "QUARANTINED",
     "ResumeMismatch",
     "SimulatedCrash",
+    "Supervisor",
     "TRANSIENT",
     "TableSpec",
     "TimeoutDegradation",
@@ -62,4 +67,8 @@ def __getattr__(name):
         from . import campaign as _campaign
 
         return getattr(_campaign, name)
+    if name == "Supervisor":
+        from .supervise import Supervisor
+
+        return Supervisor
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

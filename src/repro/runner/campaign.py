@@ -28,6 +28,17 @@ units: per-unit simulated-event budgets (deterministic) and per-unit /
 per-campaign wall-clock guards (for real hangs) convert a stuck unit
 into a recorded :class:`~repro.runner.errors.TimeoutDegradation` entry
 and move on.
+
+Parallel runs are **supervised**
+(:class:`~repro.runner.supervise.Supervisor`): a worker lost to the OS
+is respawned and its unit retried with bounded backoff; a unit that
+repeatedly crashes its worker is journaled ``quarantined`` and the
+campaign proceeds; ``unit_wall`` is enforced non-cooperatively by
+killing the worker on deadline.  Crash/retry forensics ride the
+``supervision.jsonl`` sidecar and the metrics "wall" section — never
+the journal, which stays byte-identical to a serial run even when
+workers are killed mid-campaign.  See "Failure modes and recovery" in
+``docs/CAMPAIGNS.md``.
 """
 
 from __future__ import annotations
@@ -35,10 +46,12 @@ from __future__ import annotations
 import dataclasses
 import json
 import os
+import sys
 import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from .errors import (
+    QUARANTINED,
     CampaignDeadline,
     CampaignError,
     ResumeMismatch,
@@ -48,11 +61,10 @@ from .errors import (
 from .journal import Journal
 from .parallel import (
     FatalUnitError,
+    PoisonUnitError,
     UnitSettings,
     build_unit_world,
     execute_unit,
-    run_unit_task,
-    worker_initializer,
 )
 from .units import Unit
 from .watchdog import Watchdog
@@ -64,7 +76,21 @@ JOURNAL_VERSION = 1
 CRASH_AFTER_ENV = "REPRO_CAMPAIGN_CRASH_AFTER"
 
 #: Unit statuses whose journal entries survive a resume untouched.
-_DURABLE_STATUSES = ("ok", "degraded")
+#: ``quarantined`` is durable by design: re-running a poison unit
+#: would only crash the campaign's workers again.
+_DURABLE_STATUSES = ("ok", "degraded", QUARANTINED)
+
+#: Supervision event kinds → wall-half metrics counters.  These count
+#: nondeterministic infrastructure events (crashes, retries, respawns)
+#: so they live beside the timing gauges, never in the deterministic
+#: half that byte-compares across worker counts.
+_SUPERVISION_COUNTERS = {
+    "worker-crash": "campaign_worker_crashes_total",
+    "unit-retry": "campaign_unit_retries_total",
+    "unit-quarantined": "campaign_units_quarantined_total",
+    "unit-hard-timeout": "campaign_unit_hard_timeouts_total",
+    "worker-spawn": "campaign_workers_respawned_total",
+}
 
 
 def _registry(experiments: Optional[Sequence[str]]):
@@ -109,7 +135,9 @@ class CampaignReport:
             f"journal: {self.journal_path}",
             f"units: {counts['total']} total — {counts['ok']} ok, "
             f"{counts['degraded']} degraded, {counts['timeout']} timeout, "
-            f"{counts['failed']} failed, {counts['missing']} not run",
+            f"{counts['failed']} failed, "
+            f"{counts['quarantined']} quarantined, "
+            f"{counts['missing']} not run",
         ]
         if self.discarded_journal_lines:
             lines.append(f"journal: discarded "
@@ -140,6 +168,9 @@ class Campaign:
                  echo_journal: bool = False,
                  workers: int = 1,
                  trace: bool = False,
+                 max_worker_crashes: int = 2,
+                 hard_grace: float = 2.0,
+                 memory_limit_mb: Optional[int] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         from ..experiments.common import bench_fraction
 
@@ -171,6 +202,12 @@ class Campaign:
         self.crash_after = crash_after
         self.echo_journal = echo_journal
         self.trace = trace
+        if max_worker_crashes < 1:
+            raise CampaignError(f"max_worker_crashes must be >= 1, "
+                                f"got {max_worker_crashes}")
+        self.max_worker_crashes = max_worker_crashes
+        self.hard_grace = hard_grace
+        self.memory_limit_mb = memory_limit_mb
         self.watchdog = Watchdog(unit_steps=unit_steps, unit_wall=unit_wall,
                                  campaign_wall=deadline, clock=clock)
 
@@ -198,6 +235,7 @@ class Campaign:
             "fault_seed": self.fault_seed,
             "retries": self.retries,
             "unit_steps": self.unit_steps,
+            "memory_limit": self.memory_limit_mb,
         }
 
     def _open_journal(self) -> Tuple[Journal, List[Dict], int]:
@@ -225,7 +263,7 @@ class Campaign:
         mismatched = [
             key for key in ("version", "seed", "scale", "fraction",
                             "experiments", "loss", "fault_seed", "retries",
-                            "unit_steps")
+                            "unit_steps", "memory_limit")
             if recorded.get(key) != expected[key]
         ]
         if mismatched:
@@ -255,22 +293,43 @@ class Campaign:
             retries=self.retries, unit_steps=self.unit_steps,
             unit_wall=self.watchdog.unit_wall,
             trace=self.trace,
+            memory_limit_mb=self.memory_limit_mb,
         )
 
     def _fresh_world(self):
         """A pristine world per unit: resume-order independence."""
         return build_unit_world(self._settings())
 
+    def _sidecar_error(self, where: str, exc: BaseException) -> None:
+        """A diagnostics channel failed: count it and say so on stderr.
+
+        Sidecar writes (timings, trace, metrics, the fatal-crash note)
+        are best-effort — they must never abort a campaign — but a
+        silent ``except`` would make supervision invisible exactly
+        when the infrastructure is misbehaving.  So every swallowed
+        failure increments ``campaign_sidecar_errors_total`` in the
+        wall metrics and leaves one line on stderr.
+        """
+        try:
+            self._metrics_wall.counter(
+                "campaign_sidecar_errors_total", where=where).inc()
+        except Exception:  # pragma: no cover - metrics not set up yet
+            pass
+        print(f"repro: warning: {where} sidecar write failed: "
+              f"{type(exc).__name__}: {exc}", file=sys.stderr)
+
     def _journal_failed_fatal(self, record: Dict) -> None:
         """Best-effort durable note of a fatal crash (then re-raise)."""
         try:
             self._append(self._journal, record)
-        except Exception:  # pragma: no cover - diagnostics only
-            pass
+        except Exception as exc:
+            self._sidecar_error("fatal-journal", exc)
 
     def _commit(self, journal: Journal, experiment: str, unit: Unit,
                 record: Dict, wall: float,
-                extras: Optional[Dict] = None) -> None:
+                extras: Optional[Dict] = None,
+                attempts: int = 1,
+                worker: Optional[int] = None) -> None:
         """Durably journal one unit record; observability in sidecars.
 
         The journal record is untouched by observability — metrics
@@ -291,9 +350,11 @@ class Campaign:
                     "experiment": experiment, "unit": unit.name,
                     "status": record.get("status"),
                     "wall": round(wall, 3),
+                    "attempts": attempts,
+                    "worker": worker,
                 }) + "\n")
-        except OSError:  # pragma: no cover - diagnostics only
-            pass
+        except OSError as exc:
+            self._sidecar_error("timings", exc)
         self._metrics_wall.histogram(
             "campaign_unit_wall_seconds", WALL_BUCKETS,
             experiment=experiment).observe(wall)
@@ -310,8 +371,8 @@ class Campaign:
                 with open(os.path.join(self.run_dir, "trace.jsonl"),
                           "a", encoding="utf-8") as fh:
                     fh.write("\n".join(lines) + "\n")
-            except OSError:  # pragma: no cover - diagnostics only
-                pass
+            except OSError as exc:
+                self._sidecar_error("trace", exc)
 
     # ------------------------------------------------------------------
     # The run
@@ -319,6 +380,7 @@ class Campaign:
 
     def run(self) -> CampaignReport:
         from ..obs.metrics import MetricsRegistry
+        from ..obs.trace import TraceBus
 
         os.makedirs(self.run_dir, exist_ok=True)
         journal, prior, discarded = self._open_journal()
@@ -327,6 +389,13 @@ class Campaign:
         self._metrics_wall = MetricsRegistry()
         self._wall_total = 0.0
         self._steps_total = 0
+        #: Supervision side channel: crash/retry/quarantine forensics
+        #: are nondeterministic, so they stream to their own
+        #: ``supervision.jsonl`` sidecar and the wall metrics — never
+        #: ``trace.jsonl``, which byte-compares across worker counts.
+        self._supervision_fh = None
+        self._supervision_bus = TraceBus()
+        self._supervision_bus.subscribe(self._on_supervision_event)
         units_by_exp: Dict[str, List[Unit]] = {
             key: list(module.units())
             for key, module in self.registry.items()
@@ -349,18 +418,43 @@ class Campaign:
                 else:
                     pending.append((key, unit))
         self.watchdog.start_campaign()
-        if self.workers > 1:
-            deadline_hit = self._run_parallel(journal, pending)
-        else:
-            deadline_hit = self._run_serial(journal, pending)
-        report = self._finish(units_by_exp, resumed, discarded,
-                              deadline_hit)
-        self._append(journal, {
-            "type": "end",
-            "status": "deadline" if deadline_hit
-            else ("complete" if report.complete else "partial"),
-        })
+        try:
+            if self.workers > 1:
+                deadline_hit = self._run_parallel(journal, pending)
+            else:
+                deadline_hit = self._run_serial(journal, pending)
+            report = self._finish(units_by_exp, resumed, discarded,
+                                  deadline_hit)
+            self._append(journal, {
+                "type": "end",
+                "status": "deadline" if deadline_hit
+                else ("complete" if report.complete else "partial"),
+            })
+        finally:
+            if self._supervision_fh is not None:
+                try:
+                    self._supervision_fh.close()
+                except OSError:  # pragma: no cover - teardown only
+                    pass
+                self._supervision_fh = None
         return report
+
+    def _on_supervision_event(self, event: Dict) -> None:
+        """Sink for supervision events: count, then stream to disk."""
+        from ..obs.trace import event_json
+
+        counter = _SUPERVISION_COUNTERS.get(event.get("kind"))
+        if counter is not None:
+            self._metrics_wall.counter(counter).inc()
+        try:
+            if self._supervision_fh is None:
+                self._supervision_fh = open(
+                    os.path.join(self.run_dir, "supervision.jsonl"),
+                    "a", encoding="utf-8")
+            self._supervision_fh.write(event_json(event) + "\n")
+            self._supervision_fh.flush()
+        except OSError as exc:
+            self._sidecar_error("supervision", exc)
 
     def _check_deadline(self, deadline_hit: Optional[str]
                         ) -> Optional[str]:
@@ -380,7 +474,15 @@ class Campaign:
 
     def _run_serial(self, journal: Journal,
                     pending: List[Tuple[str, Unit]]) -> Optional[str]:
-        """Seed behaviour: one unit at a time, in canonical order."""
+        """Seed behaviour: one unit at a time, in canonical order.
+
+        Poison failures (``MemoryError``) get the same retry-then-
+        quarantine treatment the supervisor applies to worker deaths,
+        so a serial run journals the same deterministic quarantine
+        record a parallel run does.
+        """
+        from .supervise import quarantine_record
+
         settings = self._settings()
         executed = 0
         deadline_hit: Optional[str] = None
@@ -388,55 +490,92 @@ class Campaign:
             deadline_hit = self._check_deadline(deadline_hit)
             if deadline_hit is not None:
                 continue
-            try:
-                record, wall, extras = execute_unit(settings, key, unit,
-                                                    self.watchdog)
-            except FatalUnitError as exc:
-                self._journal_failed_fatal(exc.record)
-                raise exc.original
-            self._commit(journal, key, unit, record, wall, extras)
+            unit_key = f"{key}/{unit.name}"
+            crashes = 0
+            start = time.monotonic()
+            while True:
+                try:
+                    record, wall, extras = execute_unit(
+                        settings, key, unit, self.watchdog)
+                    attempts = crashes + 1
+                except FatalUnitError as exc:
+                    self._journal_failed_fatal(exc.record)
+                    raise exc.original
+                except PoisonUnitError as exc:
+                    crashes += 1
+                    self._supervision_bus.emit(
+                        "worker-crash", self.watchdog.campaign_elapsed(),
+                        unit=unit_key, attempt=crashes,
+                        reason=exc.record["error"]["reason"])
+                    if crashes >= self.max_worker_crashes:
+                        record = quarantine_record(key, unit.name,
+                                                   crashes)
+                        wall = time.monotonic() - start
+                        extras = None
+                        attempts = crashes
+                        self._supervision_bus.emit(
+                            "unit-quarantined",
+                            self.watchdog.campaign_elapsed(),
+                            unit=unit_key, crashes=crashes)
+                        break
+                    self._supervision_bus.emit(
+                        "unit-retry", self.watchdog.campaign_elapsed(),
+                        unit=unit_key, attempt=crashes + 1, delay=0.0)
+                    continue
+                break
+            self._commit(journal, key, unit, record, wall, extras,
+                         attempts=attempts)
             executed += 1
             self._crash_if_injected(executed)
         return deadline_hit
 
     def _run_parallel(self, journal: Journal,
                       pending: List[Tuple[str, Unit]]) -> Optional[str]:
-        """Fan units out to a process pool; commit in canonical order.
+        """Fan units out to a supervised worker pool; commit in
+        canonical order.
 
-        Submission is free-running (workers pick up units as slots
-        open) but the commit loop walks *pending* in order and blocks
-        on each unit's own future, so the journal is written exactly
-        as a serial run writes it.  A hit deadline stops committing —
-        uncommitted results are discarded, leaving those units missing
-        and resumable, just as the serial loop leaves them un-run.
+        Dispatch is free-running (workers pick up units as slots open)
+        but :meth:`Supervisor.run` yields outcomes in submission
+        order, so the journal is written exactly as a serial run
+        writes it — including after worker crashes, retries,
+        quarantines and hard deadline kills, none of which touch the
+        record bytes.  A hit deadline stops committing — undelivered
+        results are discarded, leaving those units missing and
+        resumable, just as the serial loop leaves them un-run.
         """
-        from concurrent.futures import ProcessPoolExecutor
+        from .supervise import Supervisor
 
         executed = 0
         deadline_hit: Optional[str] = None
-        pool = ProcessPoolExecutor(
-            max_workers=self.workers,
-            initializer=worker_initializer,
-            initargs=(self._settings(),))
+        supervisor = Supervisor(
+            self._settings(), self.workers,
+            unit_wall=self.watchdog.unit_wall,
+            max_crashes=self.max_worker_crashes,
+            hard_grace=self.hard_grace,
+            events=self._supervision_bus)
+        units = {(key, unit.name): unit for key, unit in pending}
+        outcomes = supervisor.run(
+            [(key, unit.name) for key, unit in pending])
         try:
-            futures = [(key, unit,
-                        pool.submit(run_unit_task, key, unit.name))
-                       for key, unit in pending]
-            for key, unit, future in futures:
+            for outcome in outcomes:
                 deadline_hit = self._check_deadline(deadline_hit)
                 if deadline_hit is not None:
                     break
-                record, wall, extras, fatal = future.result()
-                if fatal:
-                    self._journal_failed_fatal(record)
+                if outcome.kind == "fatal":
+                    self._journal_failed_fatal(outcome.record)
                     raise CampaignError(
-                        f"fatal error in unit {key}:{record['unit']}: "
-                        f"{record['error']['reason']}")
-                self._commit(journal, key, unit, record, wall, extras)
+                        f"fatal error in unit {outcome.experiment}:"
+                        f"{outcome.unit_name}: "
+                        f"{outcome.record['error']['reason']}")
+                unit = units[(outcome.experiment, outcome.unit_name)]
+                self._commit(journal, outcome.experiment, unit,
+                             outcome.record, outcome.wall,
+                             outcome.extras, attempts=outcome.attempts,
+                             worker=outcome.worker)
                 executed += 1
                 self._crash_if_injected(executed)
         finally:
-            pool.shutdown(wait=True, cancel_futures=True)
+            outcomes.close()
         return deadline_hit
 
     # ------------------------------------------------------------------
@@ -454,7 +593,7 @@ class Campaign:
                 latest[(rec["experiment"], rec["unit"])] = rec
 
         counts = {"total": 0, "ok": 0, "degraded": 0, "timeout": 0,
-                  "failed": 0, "missing": 0}
+                  "failed": 0, "quarantined": 0, "missing": 0}
         degradation = Degradation(resumed=resumed)
         for key, units in units_by_exp.items():
             for unit in units:
@@ -472,6 +611,9 @@ class Campaign:
                 elif rec["status"] == "failed":
                     degradation.record_error(f"{key}:{unit.name}",
                                              rec["error"]["reason"])
+                elif rec["status"] == QUARANTINED:
+                    degradation.record_quarantine(
+                        f"{key}:{unit.name}", rec["error"]["reason"])
                 else:
                     payload = rec["payload"]
                     degradation.retries += payload.get("retries", 0)
@@ -519,8 +661,8 @@ class Campaign:
                     "wall": self._metrics_wall.snapshot(),
                 }, fh, indent=2, sort_keys=True)
                 fh.write("\n")
-        except OSError:  # pragma: no cover - diagnostics only
-            pass
+        except OSError as exc:
+            self._sidecar_error("metrics", exc)
 
     def _assemble(self, units_by_exp, latest) -> str:
         from ..experiments.common import format_table
@@ -545,6 +687,11 @@ class Campaign:
                     rows.append(self._pad(
                         [unit.name,
                          f"(failed: {rec['error']['reason']})"],
+                        headers))
+                elif rec["status"] == QUARANTINED:
+                    rows.append(self._pad(
+                        [unit.name,
+                         f"(quarantined: {rec['error']['reason']})"],
                         headers))
                 else:
                     rows.extend(rec["payload"]["rows"])

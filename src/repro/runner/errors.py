@@ -18,6 +18,16 @@ categories, unifying the ad-hoc handling that used to live in
 ``fatal``
     Everything else — programming errors must still crash, loudly, so
     a journal never papers over a broken experiment.
+
+``poison``
+    A resource failure (today: ``MemoryError``) that poisons the
+    process it runs in rather than just the measurement.  Poison
+    failures are retried in a fresh worker process and — when they
+    repeat — journaled with the durable ``quarantined`` status so the
+    campaign can proceed without a babysitter.  The same status is
+    applied by the supervisor (:mod:`repro.runner.supervise`) to units
+    that repeatedly *kill* their worker outright (OOM-killer, SIGKILL,
+    segfaults), which never surface as a Python exception at all.
 """
 
 from __future__ import annotations
@@ -30,6 +40,14 @@ from ..netsim.errors import ConnectionError_, NetSimError, PortInUseError
 TRANSIENT = "transient"
 DEGRADABLE = "degradable"
 FATAL = "fatal"
+POISON = "poison"
+
+#: Durable journal status for a unit quarantined after repeatedly
+#: crashing its worker (or exhausting its memory budget).  Sits beside
+#: ``ok``/``degraded``/``timeout``/``failed``; like ``ok`` it survives
+#: a resume untouched — re-running a poison unit would only crash the
+#: campaign's workers again.
+QUARANTINED = "quarantined"
 
 #: How many extra attempts a transient failure earns inside
 #: :func:`repro.experiments.common.run_degradable`.
@@ -107,11 +125,19 @@ TRANSIENT_ERRORS = (TransientUnitError, ConnectionError_, PortInUseError)
 
 
 def classify_error(exc: BaseException) -> str:
-    """Map an exception to its taxonomy category."""
+    """Map an exception to its taxonomy category.
+
+    Total by construction: only ``isinstance`` tests, never attribute
+    access or stringification, so any ``BaseException`` — including
+    ones with hostile ``__str__``/``__getattr__`` — classifies without
+    raising (a hypothesis property in ``tests/runner`` holds this).
+    """
     if isinstance(exc, UnitTimeout):
         return DEGRADABLE
     if isinstance(exc, TRANSIENT_ERRORS):
         return TRANSIENT
     if isinstance(exc, NetSimError):
         return DEGRADABLE
+    if isinstance(exc, MemoryError):
+        return POISON
     return FATAL

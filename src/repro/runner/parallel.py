@@ -17,10 +17,14 @@ The pieces here are shared by both execution modes:
 * :func:`execute_unit` — build world, arm watchdog, run one unit,
   classify the outcome into a journal record (the single
   implementation both the serial loop and the workers call);
-* :func:`worker_initializer` / :func:`run_unit_task` — the process
-  pool entry points.  Workers receive only ``(experiment, unit name)``
-  pairs and re-resolve the unit from the experiment registry, so no
-  closures ever cross the process boundary.
+* :func:`worker_initializer` / :func:`run_unit_task` — the worker
+  entry points used by the supervised pool
+  (:mod:`repro.runner.supervise`).  Workers receive only
+  ``(experiment, unit name, attempt)`` triples and re-resolve the unit
+  from the experiment registry, so no closures ever cross the process
+  boundary.  Deterministic chaos hooks (:data:`KILL_ENV` /
+  :data:`HANG_ENV`) let tests and CI kill or wedge workers at exact
+  ``unit:attempt`` points.
 
 Wall-clock timings are *returned* alongside records but never
 journaled — they are the one nondeterministic observable, and live in
@@ -30,12 +34,30 @@ the run directory's ``timings.jsonl`` sidecar instead.
 from __future__ import annotations
 
 import dataclasses
+import os
+import signal
 import time
 from typing import Dict, Optional, Tuple
 
-from .errors import FATAL, CampaignError, UnitTimeout, classify_error
+from .errors import (FATAL, POISON, CampaignError, UnitTimeout,
+                     classify_error)
 from .units import Unit
 from .watchdog import Watchdog
+
+#: Chaos hook: SIGKILL the worker at specific ``experiment/unit:attempt``
+#: points (comma-separated; omit ``:attempt`` to kill every attempt).
+#: Lets CI exercise the supervisor's crash-recovery path with real,
+#: deterministic worker deaths.
+KILL_ENV = "REPRO_CAMPAIGN_WORKER_KILL"
+
+#: Chaos hook: spin in **pure Python** (no simulated events, so the
+#: cooperative watchdog is blind) at matching ``experiment/unit``
+#: points — the documented hole hard deadline enforcement closes.
+HANG_ENV = "REPRO_CAMPAIGN_WORKER_HANG"
+
+#: Safety net on the chaos hang: never spin longer than this, so a
+#: test that forgot a unit wall cannot wedge CI forever.
+HANG_SPIN_LIMIT = 600.0
 
 
 @dataclasses.dataclass(frozen=True)
@@ -55,6 +77,10 @@ class UnitSettings:
     trace: bool = False
     #: Per-unit event cap (fixed so truncation is deterministic).
     trace_limit: int = 100_000
+    #: Per-worker address-space budget (MiB), applied via
+    #: ``resource.setrlimit`` in :func:`worker_initializer` so one
+    #: pathological world build cannot OOM the host.  ``None`` = off.
+    memory_limit_mb: Optional[int] = None
 
 
 class FatalUnitError(Exception):
@@ -63,6 +89,22 @@ class FatalUnitError(Exception):
     Carries the failed unit's journal record so the campaign can note
     the crash durably before propagating; ``original`` is the fatal
     exception itself (re-raised verbatim by the serial path).
+    """
+
+    def __init__(self, record: Dict, original: BaseException) -> None:
+        super().__init__(str(original))
+        self.record = record
+        self.original = original
+
+
+class PoisonUnitError(Exception):
+    """A unit hit a :data:`~repro.runner.errors.POISON` failure.
+
+    The process that ran it may be damaged (a ``MemoryError`` leaves
+    arbitrary allocations half-done), so the unit is retried in a
+    fresh worker and quarantined when the failure repeats, instead of
+    aborting the campaign.  Carries the half-built record like
+    :class:`FatalUnitError`.
     """
 
     def __init__(self, record: Dict, original: BaseException) -> None:
@@ -147,6 +189,9 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
         if category == FATAL:
             record["steps"] = watchdog.end_unit()
             raise FatalUnitError(record, exc) from exc
+        if category == POISON:
+            record["steps"] = watchdog.end_unit()
+            raise PoisonUnitError(record, exc) from exc
     else:
         errors = payload.get("errors") if isinstance(payload, dict) \
             else None
@@ -181,6 +226,89 @@ _WORKER: Dict = {}
 def worker_initializer(settings: UnitSettings) -> None:
     _WORKER["settings"] = settings
     _WORKER["units"] = {}
+    _apply_memory_limit(settings.memory_limit_mb)
+
+
+def _apply_memory_limit(limit_mb: Optional[int]) -> None:
+    """Cap this process's address space (best effort, POSIX only).
+
+    Meant for worker processes — applying it to the campaign parent
+    (or a test process) would cap *that* process too, which is why the
+    limit rides :class:`UnitSettings` instead of ambient state.
+    """
+    if not limit_mb:
+        return
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX
+        return
+    limit = int(limit_mb) * 1024 * 1024
+    try:
+        _, hard = resource.getrlimit(resource.RLIMIT_AS)
+        resource.setrlimit(resource.RLIMIT_AS, (limit, hard))
+    except (ValueError, OSError):  # pragma: no cover - platform quirk
+        pass
+
+
+# ---------------------------------------------------------------------------
+# Chaos hooks (worker side)
+# ---------------------------------------------------------------------------
+
+#: Parsed chaos plans, memoized per raw env value (workers are
+#: long-lived; the env never changes underneath them).
+_CHAOS_CACHE: Dict[Tuple[str, str], Dict[str, Optional[frozenset]]] = {}
+
+
+def _parse_chaos_plan(raw: str) -> Dict[str, Optional[frozenset]]:
+    """``exp/unit:attempt,...`` -> ``{"exp/unit": {attempts} | None}``.
+
+    ``None`` means *every* attempt (an entry without ``:attempt``).
+    Malformed entries are ignored — a typo in a chaos knob must never
+    take down a real campaign.
+    """
+    plan: Dict[str, Optional[frozenset]] = {}
+    for entry in raw.split(","):
+        entry = entry.strip()
+        if not entry or "/" not in entry:
+            continue
+        key, attempt = entry, None
+        if ":" in entry:
+            head, _, tail = entry.rpartition(":")
+            try:
+                attempt = int(tail)
+                key = head
+            except ValueError:
+                attempt = None
+        attempts = plan.get(key, frozenset())
+        if attempt is None or attempts is None:
+            plan[key] = None
+        else:
+            plan[key] = attempts | {attempt}
+    return plan
+
+
+def _chaos_match(env: str, experiment: str, unit_name: str,
+                 attempt: int) -> bool:
+    raw = os.environ.get(env)
+    if not raw:
+        return False
+    plan = _CHAOS_CACHE.get((env, raw))
+    if plan is None:
+        plan = _CHAOS_CACHE[(env, raw)] = _parse_chaos_plan(raw)
+    attempts = plan.get(f"{experiment}/{unit_name}", frozenset())
+    return attempts is None or attempt in attempts
+
+
+def _maybe_chaos(experiment: str, unit_name: str, attempt: int) -> None:
+    """Apply the deterministic chaos plan, if any, for this task."""
+    if _chaos_match(KILL_ENV, experiment, unit_name, attempt):
+        os.kill(os.getpid(), getattr(signal, "SIGKILL", signal.SIGTERM))
+    if _chaos_match(HANG_ENV, experiment, unit_name, attempt):
+        # Pure-Python spin: no simulated events, so the cooperative
+        # watchdog cannot interrupt it — only a hard deadline kill can.
+        deadline = time.monotonic() + HANG_SPIN_LIMIT
+        while time.monotonic() < deadline:
+            pass
 
 
 def _resolve_unit(experiment: str, unit_name: str) -> Unit:
@@ -202,16 +330,22 @@ def _resolve_unit(experiment: str, unit_name: str) -> Unit:
     return unit
 
 
-def run_unit_task(experiment: str, unit_name: str
-                  ) -> Tuple[Dict, float, Dict, bool]:
+def run_unit_task(experiment: str, unit_name: str, attempt: int = 1
+                  ) -> Tuple[Dict, float, Dict, Optional[str]]:
     """Pool task: execute one unit in this worker process.
 
-    Returns ``(record, wall, extras, fatal)``.  Fatal errors are
-    folded into the returned record (with ``fatal=True``) rather than
-    raised, so the parent can journal the crash durably — mirroring
-    the serial path — before aborting the campaign.
+    Returns ``(record, wall, extras, kind)`` where ``kind`` is ``None``
+    for a normal outcome, ``"fatal"`` for a programming error, or
+    ``"poison"`` for a resource failure the supervisor should route
+    through retry/quarantine.  Fatal and poison errors are folded into
+    the returned record rather than raised, so the parent can journal
+    them durably — mirroring the serial path.  The wall measurement
+    covers the failed attempt too (a crashed unit's elapsed time is
+    forensic data, not something to zero out).
     """
     settings: UnitSettings = _WORKER["settings"]
+    start = time.monotonic()
+    _maybe_chaos(experiment, unit_name, attempt)
     unit = _resolve_unit(experiment, unit_name)
     # Each worker arms its own unit-scope watchdog; the campaign-wide
     # wall budget stays with the parent, which enforces it between
@@ -222,5 +356,9 @@ def run_unit_task(experiment: str, unit_name: str
         record, wall, extras = execute_unit(settings, experiment, unit,
                                             watchdog)
     except FatalUnitError as exc:
-        return exc.record, 0.0, {"metrics": None, "trace": None}, True
-    return record, wall, extras, False
+        return (exc.record, time.monotonic() - start,
+                {"metrics": None, "trace": None}, "fatal")
+    except PoisonUnitError as exc:
+        return (exc.record, time.monotonic() - start,
+                {"metrics": None, "trace": None}, "poison")
+    return record, wall, extras, None

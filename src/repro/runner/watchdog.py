@@ -16,6 +16,11 @@ actually simulating gets its budgets checked continuously:
 "Cooperative" is load-bearing: a unit spinning in pure Python without
 touching the network cannot be interrupted mid-loop — the campaign
 still bounds it between units via :meth:`Watchdog.check_campaign`.
+With ``workers > 1`` that hole is closed: the supervised pool
+(:mod:`repro.runner.supervise`) enforces ``unit_wall``
+non-cooperatively by killing the worker process on deadline and
+journaling the unit as a ``timeout`` with the same detail text this
+watchdog writes.
 """
 
 from __future__ import annotations

@@ -1,0 +1,143 @@
+"""The error taxonomy is total, and poison failures quarantine.
+
+``classify_error`` sits on the worker's hot failure path — if it ever
+raised, the failure it was classifying would be replaced by a crash of
+the classifier itself.  A hypothesis property holds it total over a
+grab-bag of exception types, including ones with hostile ``__str__``.
+The serial quarantine round-trip lives here too: a unit that raises
+``MemoryError`` repeatedly must end up durably ``quarantined``.
+"""
+
+import types
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.experiments.common import TableSpec, Unit, campaign_payload
+from repro.netsim.errors import (
+    ConnectionError_,
+    NetSimError,
+    PortInUseError,
+)
+from repro.runner.campaign import Campaign
+from repro.runner.errors import (
+    DEGRADABLE,
+    FATAL,
+    POISON,
+    TRANSIENT,
+    TransientUnitError,
+    UnitTimeout,
+    classify_error,
+)
+
+CATEGORIES = {TRANSIENT, DEGRADABLE, FATAL, POISON}
+
+
+class _HostileError(Exception):
+    """An exception whose introspection surface actively misbehaves."""
+
+    def __str__(self):
+        raise RuntimeError("__str__ is a trap")
+
+    def __getattr__(self, name):
+        raise RuntimeError(f"__getattr__({name!r}) is a trap")
+
+
+def _instances():
+    return [
+        ValueError("plain"),
+        KeyError("missing"),
+        MemoryError("balloon"),
+        KeyboardInterrupt(),
+        SystemExit(2),
+        GeneratorExit(),
+        RecursionError("deep"),
+        OSError(24, "too many open files"),
+        UnicodeDecodeError("utf-8", b"\xff", 0, 1, "bad byte"),
+        UnitTimeout("unit-wall", "unit exceeded 1s wall budget"),
+        TransientUnitError("flap"),
+        ConnectionError_("refused"),
+        PortInUseError("port 80 in use"),
+        NetSimError("generic simulator failure"),
+        _HostileError(),
+        BaseException("bare base"),
+    ]
+
+
+class TestClassifyTotal:
+    @given(exc=st.sampled_from(_instances()))
+    def test_always_returns_a_known_category(self, exc):
+        assert classify_error(exc) in CATEGORIES
+
+    @given(message=st.text(max_size=200))
+    def test_message_content_is_irrelevant(self, message):
+        # Classification is isinstance-only; no message can change it.
+        assert classify_error(RuntimeError(message)) == FATAL
+        assert classify_error(MemoryError(message)) == POISON
+
+    def test_taxonomy_table(self):
+        assert classify_error(TransientUnitError("x")) == TRANSIENT
+        assert classify_error(ConnectionError_("x")) == TRANSIENT
+        assert classify_error(PortInUseError("x")) == TRANSIENT
+        assert classify_error(UnitTimeout("k", "d")) == DEGRADABLE
+        assert classify_error(NetSimError("x")) == DEGRADABLE
+        assert classify_error(MemoryError("x")) == POISON
+        assert classify_error(ValueError("x")) == FATAL
+        assert classify_error(KeyboardInterrupt()) == FATAL
+
+
+def _poison_module():
+    """A fake experiment whose middle unit exhausts memory, always."""
+
+    def quick(world, domains):
+        return campaign_payload([["quick", "done"]])
+
+    def balloon(world, domains):
+        raise MemoryError("chaos balloon")
+
+    def units():
+        yield Unit("quick", quick)
+        yield Unit("balloon", balloon)
+        yield Unit("after", quick)
+
+    return types.SimpleNamespace(
+        CAMPAIGN=TableSpec(title="Poison test", headers=("unit", "note")),
+        units=units,
+    )
+
+
+class TestSerialQuarantine:
+    """The serial path applies the same retry-then-quarantine policy
+    the supervisor applies to worker deaths."""
+
+    def _run(self, run_dir, **kwargs):
+        return Campaign(seed=1808, scale=0.05, fraction=1.0,
+                        run_dir=str(run_dir),
+                        specs={"mem-exp": _poison_module()},
+                        **kwargs).run()
+
+    def test_memory_error_quarantines_after_retry(self, tmp_path):
+        report = self._run(tmp_path / "run")
+        assert report.counts["quarantined"] == 1
+        assert report.counts["ok"] == 2  # the campaign moved on
+        assert "(quarantined: crashed 2 consecutive worker" \
+            in report.tables
+        assert "quarantined: mem-exp:balloon" in report.render()
+
+    def test_quarantine_round_trips_through_resume(self, tmp_path):
+        first = self._run(tmp_path / "run")
+        resumed = self._run(tmp_path / "run", resume=True)
+        assert resumed.counts["quarantined"] == 1
+        assert resumed.degradation.resumed == 3  # all units durable
+        assert resumed.tables == first.tables
+
+    def test_single_crash_budget_quarantines_immediately(self, tmp_path):
+        report = self._run(tmp_path / "run", max_worker_crashes=1)
+        assert report.counts["quarantined"] == 1
+        assert "crashed 1 consecutive worker attempt(s)" in report.tables
+
+    def test_crash_budget_validated(self, tmp_path):
+        from repro.runner.errors import CampaignError
+
+        with pytest.raises(CampaignError, match="max_worker_crashes"):
+            Campaign(run_dir=str(tmp_path / "run"), max_worker_crashes=0)

@@ -110,6 +110,40 @@ class TestWorkerTask:
         with pytest.raises(CampaignError, match="no unit"):
             run_unit_task("tcpip", "not-an-isp")
 
+    def _inject_unit(self, fn):
+        from repro.runner.parallel import _WORKER
+        from repro.runner.units import Unit
+
+        worker_initializer(UnitSettings(seed=1808, scale=SCALE,
+                                        fraction=1.0))
+        _WORKER["units"]["tcpip"] = {"boom": Unit("boom", fn)}
+
+    def test_fatal_path_measures_real_wall(self):
+        import time
+
+        def boom(world, domains):
+            time.sleep(0.05)
+            raise RuntimeError("deliberate programming error")
+
+        self._inject_unit(boom)
+        record, wall, extras, kind = run_unit_task("tcpip", "boom")
+        assert kind == "fatal"
+        assert record["status"] == "failed"
+        # The failed attempt's elapsed time is forensic data — it must
+        # not be reported as 0.0.
+        assert wall >= 0.05
+        assert extras == {"metrics": None, "trace": None}
+
+    def test_poison_path_reports_poison_kind(self):
+        def balloon(world, domains):
+            raise MemoryError("deliberate balloon")
+
+        self._inject_unit(balloon)
+        record, wall, extras, kind = run_unit_task("tcpip", "boom")
+        assert kind == "poison"
+        assert record["error"]["category"] == "poison"
+        assert wall >= 0.0
+
 
 class TestCliWorkers:
     def test_workers_flag(self, tmp_path, capsys):
@@ -120,3 +154,22 @@ class TestCliWorkers:
                      "--run-dir", run_dir, "--workers", "2"]) == 0
         out = capsys.readouterr().out
         assert "TCP/IP filtering test" in out
+
+    def test_workers_below_one_rejected(self, tmp_path):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit,
+                           match="--workers must be >= 1, got 0"):
+            main(["campaign", "tcpip", "--scale", str(SCALE),
+                  "--run-dir", str(tmp_path / "run"), "--workers", "0"])
+
+    def test_oversubscribed_workers_warn(self, tmp_path, capsys,
+                                         monkeypatch):
+        from repro import cli
+
+        monkeypatch.setattr(cli.os, "cpu_count", lambda: 1)
+        run_dir = str(tmp_path / "run")
+        assert cli.main(["campaign", "tcpip", "--scale", str(SCALE),
+                         "--run-dir", run_dir, "--workers", "2"]) == 0
+        err = capsys.readouterr().err
+        assert "exceeds 1 available CPU core(s)" in err
