@@ -11,6 +11,7 @@
     python -m repro trace idea <domain>      # iterative network trace
     python -m repro fuzz --seed 7            # deterministic fuzz campaign
     python -m repro report <run-dir>         # campaign run dir -> report
+    python -m repro serve --port 0          # measurement service daemon
 
 All commands accept ``--scale`` (world size; 1.0 = paper scale) and
 ``--seed``.  Fault injection is available everywhere: ``--loss 0.05``
@@ -33,6 +34,12 @@ server/middlebox oracle; same seed ⇒ byte-identical journal — see
 ``trace.jsonl`` sidecar, and ``report`` renders any finished (or
 killed) run directory into ``report.md`` + ``report.json`` — see
 ``docs/OBSERVABILITY.md``.
+
+``serve`` runs the long-lived multi-tenant measurement service:
+campaign submission over local HTTP/JSON, weighted fair-share
+scheduling with per-tenant quotas, live SSE event streams, graceful
+drain on SIGTERM, and crash recovery from the spool on boot — see
+``docs/SERVICE.md``.
 """
 
 from __future__ import annotations
@@ -142,6 +149,38 @@ def build_parser() -> argparse.ArgumentParser:
                         help="a campaign run directory "
                              "(contains journal.jsonl)")
 
+    serve = sub.add_parser(
+        "serve",
+        help="run the multi-tenant measurement service "
+             "(campaign submission over local HTTP, fair-share "
+             "scheduling, graceful drain, crash recovery)")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default: 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8437,
+                       help="bind port; 0 picks a free port and "
+                            "records it in <spool>/service.json "
+                            "(default: 8437)")
+    serve.add_argument("--spool", default="serve-spool",
+                       help="durable submission spool directory "
+                            "(default: serve-spool)")
+    serve.add_argument("--workers", type=int, default=2, metavar="N",
+                       help="total worker-slot budget shared by all "
+                            "tenants; one slot = one supervised "
+                            "worker process (default: 2)")
+    serve.add_argument("--tenant", action="append", default=None,
+                       metavar="SPEC",
+                       help="declare a tenant as "
+                            "name[:weight[:max_slots[:max_queued]]]; "
+                            "repeatable (default: one tenant named "
+                            "'default')")
+    serve.add_argument("--default-workers", type=int, default=1,
+                       metavar="N",
+                       help="worker slots a submission gets when it "
+                            "does not specify (default: 1)")
+    serve.add_argument("--cold-worlds", action="store_true",
+                       help="disable the resident hot-world pool "
+                            "(workers rebuild the world per unit)")
+
     fuzz = sub.add_parser(
         "fuzz",
         help="deterministic protocol fuzzing with a differential "
@@ -191,15 +230,18 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: Optional[list] = None) -> int:
-    args = build_parser().parse_args(argv)
+    raw = list(sys.argv[1:]) if argv is None else list(argv)
+    args = build_parser().parse_args(raw)
     if args.command == "experiment":
         return _cmd_experiment(args)
     if args.command == "campaign":
-        return _cmd_campaign(args)
+        return _cmd_campaign(args, raw)
     if args.command == "report":
         return _cmd_report(args)
     if args.command == "fuzz":
         return _cmd_fuzz(args)
+    if args.command == "serve":
+        return _cmd_serve(args)
     world = build_world(seed=args.seed, scale=args.scale)
     _install_faults(world, args)
     if args.command == "info":
@@ -277,7 +319,35 @@ def _cmd_experiment(args) -> int:
     return 0
 
 
-def _cmd_campaign(args) -> int:
+#: Campaign flags that pin journal meta fields; any the user does NOT
+#: pass are adopted from the journal on ``--resume``, so the printed
+#: ``repro campaign --resume <run_dir>`` hint works verbatim.
+_CAMPAIGN_META_FLAGS = (
+    ("--seed", "seed"), ("--scale", "scale"), ("--loss", "loss"),
+    ("--fault-seed", "fault_seed"), ("--retries", "retries"),
+    ("--unit-steps", "unit_steps"),
+    ("--worker-memory-mb", "memory_limit"),
+)
+
+
+def _resume_adoptions(raw) -> set:
+    flagged = {
+        key for opt, key in _CAMPAIGN_META_FLAGS
+        if any(tok == opt or tok.startswith(opt + "=") for tok in raw)
+    }
+    adopt = {key for _, key in _CAMPAIGN_META_FLAGS} - flagged
+    adopt.add("fraction")
+    if os.environ.get("REPRO_BENCH_FRACTION"):
+        # The env var is this run's explicit fraction choice; keep the
+        # mismatch check instead of silently overriding it.
+        adopt.discard("fraction")
+    return adopt
+
+
+def _cmd_campaign(args, raw=()) -> int:
+    import signal
+    import threading
+
     from .runner import CampaignError
     from .runner.campaign import Campaign
 
@@ -290,6 +360,23 @@ def _cmd_campaign(args) -> int:
               f"{cores} available CPU core(s); workers will contend",
               file=sys.stderr)
     run_dir = args.resume if args.resume is not None else args.run_dir
+    # SIGINT/SIGTERM request a graceful stop: the campaign finishes
+    # and journals the unit(s) in flight, then returns a drained
+    # report — never a torn journal.  A second signal falls through to
+    # the default handler (hard kill; the journal survives that too).
+    stop_event = threading.Event()
+    restore = {}
+
+    def _request_stop(signum, frame):
+        stop_event.set()
+        for signum_restore, handler in restore.items():
+            signal.signal(signum_restore, handler)
+
+    for signum in (signal.SIGINT, signal.SIGTERM):
+        try:
+            restore[signum] = signal.signal(signum, _request_stop)
+        except (ValueError, OSError):  # non-main thread / platform
+            pass
     try:
         campaign = Campaign(
             experiments=list(args.names) or None,
@@ -308,12 +395,57 @@ def _cmd_campaign(args) -> int:
             trace=args.trace,
             memory_limit_mb=args.worker_memory_mb,
             max_worker_crashes=args.max_worker_crashes,
+            stop_event=stop_event,
+            adopt_settings=(_resume_adoptions(raw)
+                            if args.resume is not None else None),
         )
         report = campaign.run()
     except CampaignError as exc:
         raise SystemExit(f"repro: error: {exc}")
+    finally:
+        for signum, handler in restore.items():
+            try:
+                signal.signal(signum, handler)
+            except (ValueError, OSError):
+                pass
     print(report.render())
+    if report.drained:
+        print(f"repro campaign --resume {run_dir}", file=sys.stderr)
+        return 130
     return 0 if report.complete else 1
+
+
+def _cmd_serve(args) -> int:
+    import asyncio
+
+    from .serve.app import Service, ServiceConfig
+    from .serve.tenants import TenantSpecError, parse_tenants
+
+    if args.workers < 1:
+        raise SystemExit(
+            f"repro: error: --workers must be >= 1, got {args.workers}")
+    if args.default_workers < 1:
+        raise SystemExit(f"repro: error: --default-workers must be "
+                         f">= 1, got {args.default_workers}")
+    try:
+        tenants = parse_tenants(args.tenant or ["default"])
+    except TenantSpecError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    service = Service(ServiceConfig(
+        tenants=tenants,
+        host=args.host,
+        port=args.port,
+        spool=args.spool,
+        slots=args.workers,
+        default_workers=args.default_workers,
+        warm_worlds=not args.cold_worlds,
+    ))
+    try:
+        return asyncio.run(service.run())
+    except KeyboardInterrupt:  # loop without signal-handler support
+        return 0
+    except OSError as exc:
+        raise SystemExit(f"repro: error: {exc}")
 
 
 def _cmd_report(args) -> int:

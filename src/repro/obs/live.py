@@ -1,0 +1,148 @@
+"""Live event fan-out: campaign threads in, SSE subscribers out.
+
+The measurement service runs campaigns on worker threads while its
+HTTP side lives on an asyncio loop; events produced on one side must
+reach many consumers on the other without ever blocking the producer.
+:class:`LiveFeed` is that seam:
+
+* ``publish`` is thread-safe, non-blocking, and never raises into the
+  producer — a slow or dead subscriber costs *that subscriber* dropped
+  events (counted), never a stalled campaign commit loop;
+* each subscriber gets its own bounded queue; on overflow the oldest
+  event is discarded first (a live view wants *now*, not an unbounded
+  backlog of *then*);
+* a small replay ring lets a late subscriber (a dashboard attaching
+  mid-campaign) see the recent past before the live tail begins;
+* events are sequence-stamped at publish time, so a consumer can
+  detect its own gaps (``seq`` jumps) after drops.
+
+This module is transport-agnostic on purpose: SSE framing lives in
+:mod:`repro.serve.sse`, and nothing here imports asyncio — a plain
+thread can subscribe with the same API.
+"""
+
+from __future__ import annotations
+
+import collections
+import threading
+from typing import Callable, Deque, Dict, List, Optional
+
+#: Events a subscriber may fall behind before its oldest are dropped.
+DEFAULT_SUBSCRIBER_DEPTH = 256
+
+#: Events kept for replay to late subscribers.
+DEFAULT_REPLAY = 64
+
+
+class Subscription:
+    """One consumer's bounded, droppable view of a feed."""
+
+    def __init__(self, feed: "LiveFeed", depth: int) -> None:
+        self._feed = feed
+        self._queue: Deque[Dict] = collections.deque()
+        self._depth = depth
+        self._cond = threading.Condition(feed._lock)
+        self.dropped = 0
+        self.closed = False
+        #: Optional wakeup hook called (with no lock held) after an
+        #: event lands; the asyncio bridge uses call_soon_threadsafe
+        #: here.  Must be cheap and must not raise.
+        self.on_ready: Optional[Callable[[], None]] = None
+
+    def _offer(self, event: Dict) -> None:
+        """Feed-side enqueue; caller holds the feed lock."""
+        if self.closed:
+            return
+        if len(self._queue) >= self._depth:
+            self._queue.popleft()
+            self.dropped += 1
+        self._queue.append(event)
+        self._cond.notify_all()
+
+    def pop(self, timeout: Optional[float] = None) -> Optional[Dict]:
+        """Next event, blocking up to *timeout*; ``None`` on timeout
+        or once closed and empty."""
+        with self._cond:
+            if not self._queue and not self.closed:
+                self._cond.wait(timeout)
+            if self._queue:
+                return self._queue.popleft()
+            return None
+
+    def drain(self) -> List[Dict]:
+        """Every queued event, without blocking."""
+        with self._cond:
+            events = list(self._queue)
+            self._queue.clear()
+            return events
+
+    def close(self) -> None:
+        self._feed.unsubscribe(self)
+
+
+class LiveFeed:
+    """Thread-safe bounded fan-out with replay for late joiners."""
+
+    def __init__(self, replay: int = DEFAULT_REPLAY) -> None:
+        self._lock = threading.Lock()
+        self._subs: List[Subscription] = []
+        self._ring: Deque[Dict] = collections.deque(maxlen=replay)
+        self._seq = 0
+        self.published = 0
+        self.closed = False
+
+    def publish(self, event: Dict) -> None:
+        """Stamp and deliver one event; never blocks, never raises."""
+        wakeups: List[Callable[[], None]] = []
+        with self._lock:
+            if self.closed:
+                return
+            event = dict(event)
+            event["seq"] = self._seq
+            self._seq += 1
+            self.published += 1
+            self._ring.append(event)
+            for sub in self._subs:
+                sub._offer(event)
+                if sub.on_ready is not None:
+                    wakeups.append(sub.on_ready)
+        for wake in wakeups:
+            try:
+                wake()
+            except Exception:  # pragma: no cover - defensive
+                pass
+
+    def subscribe(self, depth: int = DEFAULT_SUBSCRIBER_DEPTH,
+                  replay: bool = True) -> Subscription:
+        """A new bounded subscription, optionally pre-seeded with the
+        replay ring so a late joiner has context."""
+        sub = Subscription(self, depth)
+        with self._lock:
+            if replay:
+                for event in self._ring:
+                    sub._offer(event)
+            self._subs.append(sub)
+        return sub
+
+    def unsubscribe(self, sub: Subscription) -> None:
+        with self._lock:
+            sub.closed = True
+            try:
+                self._subs.remove(sub)
+            except ValueError:
+                pass
+            sub._cond.notify_all()
+
+    def close(self) -> None:
+        """End the feed: wake every subscriber so blocked pops return."""
+        with self._lock:
+            self.closed = True
+            for sub in self._subs:
+                sub.closed = True
+                sub._cond.notify_all()
+            self._subs.clear()
+
+    @property
+    def subscribers(self) -> int:
+        with self._lock:
+            return len(self._subs)

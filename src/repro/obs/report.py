@@ -13,6 +13,12 @@ is:
   per second — which varies run to run and machine to machine.
 
 Tests compare two runs' reports with the wall half stripped.
+
+Only ``journal.jsonl`` is required.  Every sidecar — ``metrics.json``,
+``timings.jsonl``, ``supervision.jsonl``, ``trace.jsonl`` — may be
+missing or torn (a crash can land between the journal fsync and the
+sidecar write) and the report still renders, flagging the gap with a
+"(sidecar unavailable)" note instead of raising.
 """
 
 from __future__ import annotations
@@ -50,40 +56,70 @@ def load_run(run_dir: str) -> Dict:
             latest[(rec["experiment"], rec["unit"])] = rec
         elif kind == "end":
             end = rec
+    sidecars: Dict[str, str] = {}
+    timings = _read_jsonl(
+        os.path.join(run_dir, "timings.jsonl"), sidecars, "timings")
+    metrics = _read_json(
+        os.path.join(run_dir, "metrics.json"), sidecars, "metrics")
+    supervision = _read_jsonl(
+        os.path.join(run_dir, "supervision.jsonl"), sidecars,
+        "supervision")
     return {
         "run_dir": run_dir,
         "meta": meta,
         "end": end,
         "units": latest,
         "discarded": discarded,
-        "timings": _read_jsonl(os.path.join(run_dir, "timings.jsonl")),
-        "metrics": _read_json(os.path.join(run_dir, "metrics.json")),
+        "timings": timings,
+        "metrics": metrics,
         "trace_lines": _read_lines(os.path.join(run_dir, "trace.jsonl")),
-        "supervision": _read_jsonl(
-            os.path.join(run_dir, "supervision.jsonl")),
+        "supervision": supervision,
+        "sidecars": sidecars,
     }
 
 
-def _read_jsonl(path: str) -> List[Dict]:
+def _read_jsonl(path: str, sidecars: Optional[Dict[str, str]] = None,
+                name: str = "") -> List[Dict]:
     if not os.path.exists(path):
+        if sidecars is not None:
+            sidecars[name] = "missing"
         return []
     entries = []
-    with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if line:
-                try:
-                    entries.append(json.loads(line))
-                except ValueError:
-                    continue
+    status = "ok"
+    try:
+        with open(path, encoding="utf-8") as fh:
+            for line in fh:
+                line = line.strip()
+                if line:
+                    try:
+                        entries.append(json.loads(line))
+                    except ValueError:
+                        status = "torn"
+    except OSError:
+        status = "torn"
+    if sidecars is not None:
+        sidecars[name] = status
     return entries
 
 
-def _read_json(path: str) -> Optional[Dict]:
+def _read_json(path: str, sidecars: Optional[Dict[str, str]] = None,
+               name: str = "") -> Optional[Dict]:
     if not os.path.exists(path):
+        if sidecars is not None:
+            sidecars[name] = "missing"
         return None
-    with open(path, encoding="utf-8") as fh:
-        return json.load(fh)
+    try:
+        with open(path, encoding="utf-8") as fh:
+            payload = json.load(fh)
+    except (OSError, ValueError):
+        # A torn sidecar (crash mid-write, disk hiccup) degrades the
+        # report, it doesn't kill it: the journal is the truth.
+        if sidecars is not None:
+            sidecars[name] = "torn"
+        return None
+    if sidecars is not None:
+        sidecars[name] = "ok"
+    return payload if isinstance(payload, dict) else None
 
 
 def _read_lines(path: str) -> List[str]:
@@ -136,7 +172,34 @@ def _deterministic_half(run: Dict) -> Dict:
         "trace": _trace_summary(run["trace_lines"]),
         "metrics": deterministic_metrics,
         "discarded_journal_lines": run["discarded"],
+        "sidecar_notes": _sidecar_notes(run, ("metrics",)),
     }
+
+
+def _sidecar_notes(run: Dict, names: Tuple[str, ...]) -> List[str]:
+    """Human-readable gaps for the sidecars that feed a report half.
+
+    ``metrics`` feeds the deterministic half; ``timings`` and
+    ``supervision`` only feed the wall half — keeping their notes out
+    of the deterministic half preserves serial-vs-parallel report
+    identity (supervision sidecars legitimately differ across modes).
+
+    ``supervision.jsonl`` is written lazily, only when supervision
+    events actually occur, so *missing* is a clean run, not damage;
+    only a torn supervision sidecar gets a note.
+    """
+    files = {"metrics": "metrics.json", "timings": "timings.jsonl",
+             "supervision": "supervision.jsonl"}
+    notes = []
+    for name in names:
+        status = run.get("sidecars", {}).get(name, "ok")
+        if name == "supervision" and status == "missing":
+            continue
+        if status != "ok":
+            notes.append(
+                f"(sidecar unavailable: {files[name]} {status} — "
+                f"derived numbers omitted)")
+    return notes
 
 
 def _wall_half(run: Dict) -> Dict:
@@ -154,6 +217,8 @@ def _wall_half(run: Dict) -> Dict:
         "slowest_units": slowest,
         "metrics": metrics.get("wall") or {},
         "supervision": dict(sorted(supervision.items())),
+        "sidecar_notes": _sidecar_notes(
+            run, ("timings", "supervision")),
     }
 
 
@@ -276,6 +341,11 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
         "",
     ]
 
+    for note in det.get("sidecar_notes") or ():
+        lines += [f"- {note}"]
+    if det.get("sidecar_notes"):
+        lines.append("")
+
     counts = det["unit_counts"]
     lines += ["## Units", ""]
     lines += [f"- {status}: {count}"
@@ -333,8 +403,9 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
                   for kind, count in trace["by_kind"].items()]
         lines.append("")
 
-    lines += ["## Wall (nondeterministic)", "",
-              f"- total unit wall: {wall['total_wall_seconds']} s"]
+    lines += ["## Wall (nondeterministic)", ""]
+    lines += [f"- {note}" for note in wall.get("sidecar_notes") or ()]
+    lines.append(f"- total unit wall: {wall['total_wall_seconds']} s")
     gauges = (wall.get("metrics") or {}).get("gauges") or {}
     eps = gauges.get("campaign_events_per_second")
     if eps is not None:
@@ -360,14 +431,19 @@ def _fmt_delta(delta: Optional[float]) -> str:
 
 
 def write_report(run_dir: str) -> Tuple[str, str]:
-    """Render and write ``report.md`` + ``report.json``; return paths."""
+    """Render and write ``report.md`` + ``report.json``; return paths.
+
+    Both files land atomically (tmp + fsync + rename) so a reader —
+    the service's status endpoint, a crash-recovery scan — never sees
+    a torn report.
+    """
+    from ..runner.atomicio import replace_text
+
     data = generate_report(run_dir)
     md_path = os.path.join(run_dir, "report.md")
     json_path = os.path.join(run_dir, "report.json")
-    with open(md_path, "w", encoding="utf-8") as fh:
-        fh.write(render_markdown(data, run_dir=os.path.basename(
-            os.path.normpath(run_dir))))
-    with open(json_path, "w", encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, sort_keys=True)
-        fh.write("\n")
+    replace_text(md_path, render_markdown(data, run_dir=os.path.basename(
+        os.path.normpath(run_dir))))
+    replace_text(json_path,
+                 json.dumps(data, indent=2, sort_keys=True) + "\n")
     return md_path, json_path

@@ -1,0 +1,81 @@
+"""Crash-atomic writes for run-directory artifacts.
+
+Every non-append artifact a run produces (``tables.txt``,
+``metrics.json``, ``report.md``/``report.json``, the service's
+``status.json``/``submission.json``) goes through :func:`replace_text`
+or :func:`replace_json`: write the full content to a ``*.tmp`` sibling,
+flush, fsync, then :func:`os.replace` over the destination.  A crash at
+any instant leaves either the old complete file or the new complete
+file — never a torn half-write for ``repro report`` or boot-time
+recovery to trip over.
+
+Append-only streams (the hash-chained journal, ``timings.jsonl``,
+``trace.jsonl``, ``supervision.jsonl``) are deliberately out of scope:
+their crash mode is a torn *tail line*, which their readers already
+detect and discard.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict
+
+#: Suffix of the scratch sibling ``replace_text`` stages into.
+TMP_SUFFIX = ".tmp"
+
+
+def replace_text(path: str, text: str, fsync_dir: bool = True) -> None:
+    """Atomically replace *path* with *text* (tmp + fsync + replace).
+
+    The temporary file lives next to the destination (same filesystem,
+    so the final ``os.replace`` is a metadata-only rename).  The
+    containing directory is fsynced afterwards so the rename itself is
+    durable, not just the bytes; pass ``fsync_dir=False`` for callers
+    on filesystems where directory fsync is known-noisy.
+    """
+    tmp = path + TMP_SUFFIX
+    with open(tmp, "w", encoding="utf-8") as fh:
+        fh.write(text)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    if fsync_dir:
+        _fsync_dir(os.path.dirname(path) or ".")
+
+
+def replace_json(path: str, payload: Dict, indent: int = 2,
+                 fsync_dir: bool = True) -> None:
+    """Atomically replace *path* with *payload* as sorted-key JSON."""
+    replace_text(path,
+                 json.dumps(payload, indent=indent, sort_keys=True) + "\n",
+                 fsync_dir=fsync_dir)
+
+
+def read_json(path: str, default=None):
+    """Load a JSON artifact, treating torn/unparsable content as absent.
+
+    The atomic-write discipline means a *committed* artifact is always
+    complete; anything unparsable is a leftover from pre-atomic code or
+    outside interference, and callers uniformly prefer "unavailable"
+    over an exception at read time.
+    """
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError):
+        return default
+
+
+def _fsync_dir(dirname: str) -> None:
+    """Best-effort fsync of a directory (POSIX; no-op elsewhere)."""
+    try:
+        fd = os.open(dirname, os.O_RDONLY)
+    except OSError:  # pragma: no cover - exotic platform/permissions
+        return
+    try:
+        os.fsync(fd)
+    except OSError:  # pragma: no cover - fs without dir fsync
+        pass
+    finally:
+        os.close(fd)

@@ -121,6 +121,10 @@ class CampaignReport:
     degradation: object  # experiments.common.Degradation
     discarded_journal_lines: int = 0
     deadline_hit: Optional[str] = None
+    #: Set when a stop request (SIGTERM/SIGINT, service drain) ended
+    #: the run early: the journal has no ``end`` record and the
+    #: remaining units resume byte-identically later.
+    drained: bool = False
 
     @property
     def complete(self) -> bool:
@@ -145,6 +149,10 @@ class CampaignReport:
                          f"line(s) on resume")
         if self.deadline_hit:
             lines.append(f"deadline: {self.deadline_hit}")
+        if self.drained:
+            lines.append(f"drained: stopped after the last committed "
+                         f"unit — continue with "
+                         f"repro campaign --resume {self.run_dir}")
         extra = self.degradation.describe()
         if extra:
             lines.append(extra)
@@ -171,6 +179,11 @@ class Campaign:
                  max_worker_crashes: int = 2,
                  hard_grace: float = 2.0,
                  memory_limit_mb: Optional[int] = None,
+                 stop_event=None,
+                 supervised: bool = False,
+                 warm_worlds: bool = False,
+                 on_event: Optional[Callable[[Dict], None]] = None,
+                 adopt_settings: Optional[Sequence[str]] = None,
                  clock: Callable[[], float] = time.monotonic) -> None:
         from ..experiments.common import bench_fraction
 
@@ -208,6 +221,36 @@ class Campaign:
         self.max_worker_crashes = max_worker_crashes
         self.hard_grace = hard_grace
         self.memory_limit_mb = memory_limit_mb
+        #: Graceful-drain hook: any object with ``is_set()`` (e.g. a
+        #: ``threading.Event``).  Once set, the campaign finishes the
+        #: unit in flight, commits it, and returns with
+        #: ``report.drained`` — no ``end`` record is journaled, so a
+        #: later ``--resume`` produces bytes identical to an
+        #: uninterrupted run.
+        self.stop_event = stop_event
+        #: Route even ``workers=1`` through the supervised pool: unit
+        #: execution leaves this process entirely.  The service needs
+        #: this — concurrent in-process campaigns would stomp the
+        #: process-global qid/port streams mid-unit.
+        self.supervised = supervised
+        self.warm_worlds = warm_worlds
+        #: Live observability: called with small lifecycle dicts
+        #: (``campaign-start`` / ``unit-committed`` / ``campaign-end``
+        #: plus every supervision event).  Best-effort — a failing sink
+        #: is counted and reported, never allowed to abort the run.
+        self.on_event = on_event
+        #: Meta keys to adopt from the journal on resume instead of
+        #: demanding a retype (the same courtesy ``_adopt_experiments``
+        #: extends to the experiment list).  The CLI passes every
+        #: setting the user did *not* explicitly flag, which is what
+        #: makes the printed ``repro campaign --resume <run_dir>``
+        #: hint work verbatim.  Explicitly-flagged values still go
+        #: through :meth:`_check_meta`, so a genuine conflict (e.g.
+        #: ``--seed 9`` against a seed-7 journal) still errors.
+        self._adopt_settings = frozenset(adopt_settings or ())
+        self._unit_wall_param = unit_wall
+        self._deadline_param = deadline
+        self._clock = clock
         self.watchdog = Watchdog(unit_steps=unit_steps, unit_wall=unit_wall,
                                  campaign_wall=deadline, clock=clock)
 
@@ -247,16 +290,42 @@ class Campaign:
             if self._adopt_experiments:
                 self.registry = _registry(
                     records[0].get("experiments") or None)
+            self._adopt_recorded(records[0])
             self._check_meta(records[0])
             return journal, records, discarded
         if os.path.exists(self.journal_path):
             raise CampaignError(
-                f"{self.journal_path} already exists — pass resume "
-                f"(--resume {self.run_dir}) to continue it, or choose a "
+                f"{self.journal_path} already exists — continue it with "
+                f"repro campaign --resume {self.run_dir}, or choose a "
                 f"fresh run directory")
         journal = Journal.create(self.journal_path)
         self._append(journal, self._meta())
         return journal, [], 0
+
+    #: meta key → constructor attribute, for adopt-on-resume.
+    _ADOPTABLE = {
+        "seed": "seed", "scale": "scale", "fraction": "fraction",
+        "loss": "loss", "fault_seed": "fault_seed",
+        "retries": "retries", "unit_steps": "unit_steps",
+        "memory_limit": "memory_limit_mb",
+    }
+
+    def _adopt_recorded(self, recorded: Dict) -> None:
+        """Take un-flagged settings from the journal meta record."""
+        adopted_steps = False
+        for key in self._adopt_settings:
+            attr = self._ADOPTABLE.get(key)
+            if attr is None or key not in recorded:
+                continue
+            if getattr(self, attr) != recorded[key]:
+                setattr(self, attr, recorded[key])
+                adopted_steps = adopted_steps or key == "unit_steps"
+        if adopted_steps:
+            # The watchdog captured unit_steps at construction.
+            self.watchdog = Watchdog(
+                unit_steps=self.unit_steps,
+                unit_wall=self._unit_wall_param,
+                campaign_wall=self._deadline_param, clock=self._clock)
 
     def _check_meta(self, recorded: Dict) -> None:
         expected = self._meta()
@@ -294,6 +363,7 @@ class Campaign:
             unit_wall=self.watchdog.unit_wall,
             trace=self.trace,
             memory_limit_mb=self.memory_limit_mb,
+            warm_worlds=self.warm_worlds,
         )
 
     def _fresh_world(self):
@@ -317,6 +387,21 @@ class Campaign:
             pass
         print(f"repro: warning: {where} sidecar write failed: "
               f"{type(exc).__name__}: {exc}", file=sys.stderr)
+
+    def _stop_requested(self) -> bool:
+        """Has a graceful drain been requested (signal/service stop)?"""
+        return self.stop_event is not None and self.stop_event.is_set()
+
+    def _emit_live(self, kind: str, **fields) -> None:
+        """Deliver one lifecycle event to the live sink, best-effort."""
+        if self.on_event is None:
+            return
+        event = {"kind": kind}
+        event.update(fields)
+        try:
+            self.on_event(event)
+        except Exception as exc:
+            self._sidecar_error("live", exc)
 
     def _journal_failed_fatal(self, record: Dict) -> None:
         """Best-effort durable note of a fatal crash (then re-raise)."""
@@ -343,6 +428,9 @@ class Campaign:
         from ..obs.metrics import WALL_BUCKETS
 
         self._append(journal, record)
+        self._emit_live("unit-committed", experiment=experiment,
+                        unit=unit.name, status=record.get("status"),
+                        wall=round(wall, 3), attempts=attempts)
         try:
             with open(os.path.join(self.run_dir, "timings.jsonl"),
                       "a", encoding="utf-8") as fh:
@@ -418,18 +506,31 @@ class Campaign:
                 else:
                     pending.append((key, unit))
         self.watchdog.start_campaign()
+        self._drained = False
+        self._emit_live("campaign-start", run_dir=self.run_dir,
+                        pending=len(pending), resumed=resumed)
         try:
-            if self.workers > 1:
+            if self.workers > 1 or self.supervised:
                 deadline_hit = self._run_parallel(journal, pending)
             else:
                 deadline_hit = self._run_serial(journal, pending)
             report = self._finish(units_by_exp, resumed, discarded,
                                   deadline_hit)
-            self._append(journal, {
-                "type": "end",
-                "status": "deadline" if deadline_hit
-                else ("complete" if report.complete else "partial"),
-            })
+            if self._drained:
+                # No end record: the journal stays open so a resume
+                # appends the missing units and finishes with bytes
+                # identical to an uninterrupted run.
+                report = dataclasses.replace(report, drained=True)
+            else:
+                self._append(journal, {
+                    "type": "end",
+                    "status": "deadline" if deadline_hit
+                    else ("complete" if report.complete else "partial"),
+                })
+            self._emit_live(
+                "campaign-end", run_dir=self.run_dir,
+                complete=report.complete, drained=report.drained,
+                counts=dict(report.counts))
         finally:
             if self._supervision_fh is not None:
                 try:
@@ -440,12 +541,16 @@ class Campaign:
         return report
 
     def _on_supervision_event(self, event: Dict) -> None:
-        """Sink for supervision events: count, then stream to disk."""
+        """Sink for supervision events: count, stream to disk, and
+        forward to the live sink (tagged, so a service can tell
+        infrastructure forensics from journal lifecycle)."""
         from ..obs.trace import event_json
 
         counter = _SUPERVISION_COUNTERS.get(event.get("kind"))
         if counter is not None:
             self._metrics_wall.counter(counter).inc()
+        if self.on_event is not None:
+            self._emit_live("supervision", event=dict(event))
         try:
             if self._supervision_fh is None:
                 self._supervision_fh = open(
@@ -469,8 +574,8 @@ class Campaign:
     def _crash_if_injected(self, executed: int) -> None:
         if self.crash_after is not None and executed >= self.crash_after:
             raise SimulatedCrash(
-                f"injected crash after {executed} journaled "
-                f"unit(s) — resume with --resume {self.run_dir}")
+                f"injected crash after {executed} journaled unit(s) — "
+                f"resume with repro campaign --resume {self.run_dir}")
 
     def _run_serial(self, journal: Journal,
                     pending: List[Tuple[str, Unit]]) -> Optional[str]:
@@ -487,6 +592,9 @@ class Campaign:
         executed = 0
         deadline_hit: Optional[str] = None
         for key, unit in pending:
+            if self._stop_requested():
+                self._drained = True
+                break
             deadline_hit = self._check_deadline(deadline_hit)
             if deadline_hit is not None:
                 continue
@@ -542,6 +650,11 @@ class Campaign:
         record bytes.  A hit deadline stops committing — undelivered
         results are discarded, leaving those units missing and
         resumable, just as the serial loop leaves them un-run.
+
+        A stop request (``stop_event``) drains instead: the supervisor
+        stops dispatching, in-flight units finish, and those still in
+        canonical commit order are journaled before the loop ends —
+        everything else stays missing and resumable.
         """
         from .supervise import Supervisor
 
@@ -552,7 +665,8 @@ class Campaign:
             unit_wall=self.watchdog.unit_wall,
             max_crashes=self.max_worker_crashes,
             hard_grace=self.hard_grace,
-            events=self._supervision_bus)
+            events=self._supervision_bus,
+            stop_check=self._stop_requested)
         units = {(key, unit.name): unit for key, unit in pending}
         outcomes = supervisor.run(
             [(key, unit.name) for key, unit in pending])
@@ -576,6 +690,13 @@ class Campaign:
                 self._crash_if_injected(executed)
         finally:
             outcomes.close()
+        if (self._stop_requested() and deadline_hit is None
+                and executed < len(pending)):
+            # The supervisor drained with units still uncommitted:
+            # they stay missing, i.e. resumable.  (A stop that landed
+            # after the last commit drained nothing — the campaign is
+            # simply complete.)
+            self._drained = True
         return deadline_hit
 
     # ------------------------------------------------------------------
@@ -621,8 +742,9 @@ class Campaign:
                         degradation.record_error(unit_name, reason)
 
         tables = self._assemble(units_by_exp, latest)
-        with open(self.tables_path, "w", encoding="utf-8") as fh:
-            fh.write(tables)
+        from .atomicio import replace_text
+
+        replace_text(self.tables_path, tables)
         self._write_metrics(counts)
         return CampaignReport(
             run_dir=self.run_dir,
@@ -653,14 +775,13 @@ class Campaign:
                 round(self._wall_total, 3))
             self._metrics_wall.gauge("campaign_events_per_second").set(
                 round(self._steps_total / self._wall_total, 1))
+        from .atomicio import replace_json
+
         try:
-            with open(os.path.join(self.run_dir, "metrics.json"),
-                      "w", encoding="utf-8") as fh:
-                json.dump({
-                    "deterministic": self._metrics_det.snapshot(),
-                    "wall": self._metrics_wall.snapshot(),
-                }, fh, indent=2, sort_keys=True)
-                fh.write("\n")
+            replace_json(os.path.join(self.run_dir, "metrics.json"), {
+                "deterministic": self._metrics_det.snapshot(),
+                "wall": self._metrics_wall.snapshot(),
+            })
         except OSError as exc:
             self._sidecar_error("metrics", exc)
 

@@ -81,6 +81,12 @@ class UnitSettings:
     #: ``resource.setrlimit`` in :func:`worker_initializer` so one
     #: pathological world build cannot OOM the host.  ``None`` = off.
     memory_limit_mb: Optional[int] = None
+    #: Keep hot worlds resident in each worker
+    #: (:mod:`repro.runner.worldpool`): the worker prebuilds the next
+    #: unit's world while idle, so units skip the inline rebuild.
+    #: Byte-identity with cold builds is pinned by tests; the service
+    #: turns this on, batch ``repro campaign`` keeps the seed path.
+    warm_worlds: bool = False
 
 
 class FatalUnitError(Exception):
@@ -134,7 +140,8 @@ def build_unit_world(settings: UnitSettings):
 
 
 def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
-                 watchdog: Watchdog) -> Tuple[Dict, float, Dict]:
+                 watchdog: Watchdog,
+                 world_source=None) -> Tuple[Dict, float, Dict]:
     """Run one unit; returns ``(journal record, wall seconds, extras)``.
 
     The record carries only deterministic fields (status, payload,
@@ -149,6 +156,12 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
     * ``extras["trace"]`` — when ``settings.trace`` is set, the unit's
       buffered trace events as canonical JSON lines (else ``None``).
 
+    ``world_source`` overrides how the unit's pristine world is
+    obtained (default: :func:`build_unit_world`); the supervised
+    workers pass a :class:`~repro.runner.worldpool.WorldPool` checkout
+    when ``settings.warm_worlds`` is set.  Any source must yield a
+    world byte-equivalent to a fresh build.
+
     Fatal (programming) errors raise :class:`FatalUnitError` wrapping
     the half-built record.
     """
@@ -160,7 +173,8 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
                     "unit": unit.name, "payload": None,
                     "error": None, "timeout": None}
     start = time.monotonic()
-    world = build_unit_world(settings)
+    world = (world_source(settings) if world_source is not None
+             else build_unit_world(settings))
     sink = None
     if settings.trace:
         from ..obs.trace import BufferSink, TraceBus
@@ -226,7 +240,16 @@ _WORKER: Dict = {}
 def worker_initializer(settings: UnitSettings) -> None:
     _WORKER["settings"] = settings
     _WORKER["units"] = {}
+    _WORKER["pool"] = None
     _apply_memory_limit(settings.memory_limit_mb)
+    if settings.warm_worlds:
+        from .worldpool import WorldPool
+
+        pool = WorldPool()
+        # Worker startup overlaps the parent's spool/journal setup and
+        # dispatch latency, so the first unit already starts hot.
+        pool.prebuild(settings)
+        _WORKER["pool"] = pool
 
 
 def _apply_memory_limit(limit_mb: Optional[int]) -> None:
@@ -344,6 +367,7 @@ def run_unit_task(experiment: str, unit_name: str, attempt: int = 1
     forensic data, not something to zero out).
     """
     settings: UnitSettings = _WORKER["settings"]
+    pool = _WORKER.get("pool")
     start = time.monotonic()
     _maybe_chaos(experiment, unit_name, attempt)
     unit = _resolve_unit(experiment, unit_name)
@@ -352,9 +376,11 @@ def run_unit_task(experiment: str, unit_name: str, attempt: int = 1
     # journal commits exactly as the serial loop does between units.
     watchdog = Watchdog(unit_steps=settings.unit_steps,
                         unit_wall=settings.unit_wall)
+    world_source = pool.checkout if pool is not None else None
     try:
         record, wall, extras = execute_unit(settings, experiment, unit,
-                                            watchdog)
+                                            watchdog,
+                                            world_source=world_source)
     except FatalUnitError as exc:
         return (exc.record, time.monotonic() - start,
                 {"metrics": None, "trace": None}, "fatal")
@@ -362,3 +388,27 @@ def run_unit_task(experiment: str, unit_name: str, attempt: int = 1
         return (exc.record, time.monotonic() - start,
                 {"metrics": None, "trace": None}, "poison")
     return record, wall, extras, None
+
+
+def idle_prebuild() -> None:
+    """Restock the worker's world pool between tasks.
+
+    Called by the worker loop *after* a result has shipped, so the
+    build overlaps the parent's journal commit and dispatch round-trip
+    instead of sitting on any unit's critical path.  Legal exactly
+    because no unit is executing in this process at that moment (the
+    build stomps the process-global qid/port streams — see
+    :mod:`repro.runner.worldpool`).  A failed prebuild falls back to
+    inline builds rather than killing the worker; ``MemoryError``
+    propagates so the supervisor can attribute it.
+    """
+    pool = _WORKER.get("pool")
+    if pool is None:
+        return
+    try:
+        pool.prebuild(_WORKER["settings"])
+    except MemoryError:
+        raise
+    except Exception:
+        pool.clear()
+        _WORKER["pool"] = None

@@ -57,7 +57,7 @@ from multiprocessing import connection as mp_connection
 from typing import Deque, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from .errors import POISON, QUARANTINED, CampaignError
-from .parallel import run_unit_task, worker_initializer
+from .parallel import idle_prebuild, run_unit_task, worker_initializer
 
 #: How long the commit loop blocks waiting for results per iteration;
 #: also the granularity of death/deadline checks.
@@ -205,6 +205,12 @@ def _worker_main(settings, conn) -> None:
             conn.send((index, attempt, record, wall, extras, kind))
         except (BrokenPipeError, OSError):
             break
+        # Result shipped: restock the hot-world pool (no-op unless
+        # ``settings.warm_worlds``) while the parent commits/dispatches.
+        try:
+            idle_prebuild()
+        except MemoryError:
+            os._exit(EXIT_MEMORY)
     try:
         conn.close()
     except OSError:  # pragma: no cover - teardown race
@@ -233,6 +239,7 @@ class Supervisor:
                  hard_grace: float = DEFAULT_HARD_GRACE,
                  max_respawns: Optional[int] = None,
                  events=None,
+                 stop_check=None,
                  clock=time.monotonic) -> None:
         if workers < 1:
             raise CampaignError(f"workers must be >= 1, got {workers}")
@@ -250,6 +257,10 @@ class Supervisor:
             max_respawns if max_respawns is not None
             else max(8, 4 * workers))
         self._events = events
+        #: Polled once per scheduling round; when it returns true the
+        #: supervisor drains itself (see :meth:`drain`).
+        self._stop_check = stop_check
+        self._draining = False
         self._clock = clock
         self._ctx = multiprocessing.get_context()
         self._slots: List[_Slot] = []
@@ -286,6 +297,16 @@ class Supervisor:
                     yield self._done.pop(next_commit)
                     next_commit += 1
                     continue
+                if (not self._draining and self._stop_check is not None
+                        and self._stop_check()):
+                    self.drain()
+                if self._draining and not self._inflight(next_commit):
+                    # Nothing that could still produce the next
+                    # canonical outcome is running: the drain is done.
+                    # Later in-flight results (if any) are discarded —
+                    # committing them out of order would fork the
+                    # journal bytes from a serial run's.
+                    break
                 self._promote_waiting()
                 self._dispatch()
                 self._drain()
@@ -293,6 +314,24 @@ class Supervisor:
                 self._enforce_deadlines()
         finally:
             self._shutdown()
+
+    def drain(self) -> None:
+        """Graceful stop: dispatch nothing new, let in-flight finish.
+
+        Queued work and pending backoff retries are dropped (their
+        units stay un-journaled, hence resumable); units already on a
+        worker run to completion and are yielded if they are still
+        next in canonical order.  Idempotent; also triggered by the
+        ``stop_check`` hook between scheduling rounds.
+        """
+        self._draining = True
+        self._ready.clear()
+        self._waiting = []
+
+    def _inflight(self, index: int) -> bool:
+        """Is task *index* currently executing on a live worker?"""
+        return any(slot.task is not None and slot.task[0] == index
+                   for slot in self._slots)
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -312,6 +351,8 @@ class Supervisor:
         self._waiting = still
 
     def _dispatch(self) -> None:
+        if self._draining:
+            return
         for slot in self._slots:
             if not self._ready:
                 return

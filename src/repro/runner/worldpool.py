@@ -1,0 +1,123 @@
+"""Resident hot worlds: skip per-unit world rebuilds, keep the bytes.
+
+Campaign determinism rests on every unit running against a **fresh
+world built from the campaign settings** — never on state left over
+from an earlier unit.  A long-lived measurement service executes
+thousands of units against the *same* settings, so rebuilding the
+world inline on each unit's critical path is pure latency.  This
+module removes the inline rebuild without touching the contract:
+
+* Worlds are **never reused**.  The pool holds worlds that were built
+  by the ordinary :func:`~repro.runner.parallel.build_unit_world` path
+  at an *idle* moment (worker startup, or the gap after a unit's
+  result has been sent and before the next task arrives) and hands
+  each one out exactly once.
+
+* ``build_world`` resets two process-global allocator streams (DNS
+  query ids, client ephemeral ports) and — verified by test — consumes
+  neither while building.  :meth:`WorldPool.checkout` therefore
+  re-runs the same resets just before handing a prebuilt world out,
+  leaving the process in a state byte-indistinguishable from having
+  built the world right there.  This is also why prebuilding is only
+  legal while **no unit is executing in this process**: a build (or a
+  checkout) stomps the global streams an in-flight unit is drawing
+  from.  The pool enforces nothing here — its callers
+  (:func:`repro.runner.parallel.run_unit_task` workers, which are
+  strictly serial) are structured so the invariant holds.
+
+The result: in a supervised worker, every unit after the first starts
+on a world that was already resident ("hot"), and back-to-back
+campaigns with the same settings profile — the common case for a
+multi-tenant service — skip the build entirely.  Journals stay
+byte-identical to cold-build runs; ``tests/serve`` pins that.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Dict, List, Tuple
+
+#: Prebuilt worlds kept per settings key.  One is enough for the
+#: strictly-serial worker loop (prebuild one, consume one); a small
+#: cap keeps a settings change from stranding unbounded memory.
+POOL_DEPTH = 1
+
+
+def _settings_key(settings) -> Tuple:
+    """The fields a built world depends on (a ``UnitSettings`` subset).
+
+    Deliberately *not* the whole dataclass: knobs like ``unit_steps``
+    or ``trace`` configure execution, not construction, and must not
+    fragment the pool.
+    """
+    return (settings.seed, settings.scale, settings.loss,
+            settings.fault_seed, settings.retries,
+            settings.memory_limit_mb)
+
+
+class WorldPool:
+    """A per-process stock of pristine, ready-to-run worlds."""
+
+    def __init__(self, depth: int = POOL_DEPTH) -> None:
+        self.depth = depth
+        self._worlds: Dict[Tuple, List] = {}
+        #: Diagnostics: how many checkouts were served hot vs built
+        #: inline (scraped into the wall-half metrics by the service).
+        self.hits = 0
+        self.misses = 0
+
+    def prebuild(self, settings) -> bool:
+        """Build one world for *settings* into the pool (idle time only).
+
+        Returns ``True`` if a world was built, ``False`` if the pool
+        was already at depth for this key.
+        """
+        from .parallel import build_unit_world
+
+        stock = self._worlds.setdefault(_settings_key(settings), [])
+        if len(stock) >= self.depth:
+            return False
+        stock.append(build_unit_world(settings))
+        return True
+
+    def checkout(self, settings):
+        """A fresh world for *settings*: hot if stocked, else built now.
+
+        Either way the caller receives a world in exactly the state
+        ``build_unit_world`` leaves one in — including the process-
+        global DNS qid and client-port streams, which are re-reset on
+        the hot path (see module docstring).
+        """
+        from ..dnssim.client import reset_client_ports
+        from ..dnssim.message import reset_qids
+        from .parallel import build_unit_world
+
+        stock = self._worlds.get(_settings_key(settings))
+        if stock:
+            world = stock.pop()
+            reset_qids()
+            reset_client_ports()
+            self.hits += 1
+            return world
+        self.misses += 1
+        return build_unit_world(settings)
+
+    def clear(self) -> None:
+        self._worlds.clear()
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolStats:
+    """A point-in-time snapshot of pool effectiveness."""
+
+    hits: int
+    misses: int
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+def stats(pool: WorldPool) -> PoolStats:
+    return PoolStats(hits=pool.hits, misses=pool.misses)

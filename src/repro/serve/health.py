@@ -1,0 +1,52 @@
+"""Liveness and readiness, backed by real signals.
+
+``/healthz`` answers "is the process alive and serving" — it is true
+whenever the HTTP loop can respond at all.
+
+``/readyz`` answers "should new work be routed here" and is the AND
+of observable conditions, each reported individually so an operator
+can see *which* one flipped:
+
+* ``accepting``   — not draining (SIGTERM flips this first);
+* ``spool``       — the spool directory still takes writes (a probe
+                    file, not a guess: admission durably spools before
+                    acknowledging, so a read-only disk means 503);
+* ``queue``       — admission queues have headroom (every tenant at
+                    ``max_queued`` means the next submit is a 429
+                    anyway);
+* ``workers``     — the supervised pools look stable: worker crashes
+                    are not outpacing committed units (counters fed by
+                    the supervision event stream).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+#: Crashes tolerated before commit progress is demanded: below this,
+#: a fresh service with a flaky unit is not declared unhealthy.
+CRASH_GRACE = 5
+
+
+def workers_stable(crashes: int, commits: int,
+                   grace: int = CRASH_GRACE) -> bool:
+    """Are worker crashes outpacing useful work?
+
+    The supervisor already retries and quarantines per unit; this is
+    the service-level storm detector: once past the grace allowance,
+    every crash must be matched by at least one committed unit.
+    """
+    return crashes <= grace + commits
+
+
+def readiness(*, draining: bool, spool_writable: bool,
+              queued: int, queue_capacity: int,
+              crashes: int, commits: int) -> Tuple[bool, Dict]:
+    """``(ready, components)`` for the ``/readyz`` body."""
+    components = {
+        "accepting": not draining,
+        "spool": spool_writable,
+        "queue": queued < queue_capacity,
+        "workers": workers_stable(crashes, commits),
+    }
+    return all(components.values()), components

@@ -1,0 +1,221 @@
+"""The spool: durable submissions and crash recovery.
+
+Layout (one directory per accepted campaign)::
+
+    <spool>/<tenant>/<run_id>/
+        submission.json   what the tenant asked for (atomic write)
+        status.json       lifecycle state (atomic write)
+        run/              the campaign run directory (journal.jsonl,
+                          tables.txt, sidecars) — owned by Campaign
+
+Lifecycle state machine (every transition is an atomic
+``status.json`` replace)::
+
+    queued ──────────► running ───► complete | failed
+      ▲                   │
+      │     drain/SIGTERM │ SIGKILL/crash
+      │                   ▼
+      └────────────── interrupted
+          (boot recovery re-enqueues, resuming the journal)
+
+Boot recovery (:meth:`Spool.recover`) scans every configured tenant's
+directory and classifies each run by its **journal**, not just its
+status file — the journal is fsynced truth, the status file is a hint:
+
+* journal ends with an ``end`` record → the campaign finished before
+  the crash; finalize ``status.json`` and do not re-run;
+* journal exists without an ``end`` record → re-enqueue with
+  ``resume=True``; the ordinary ``--resume`` machinery replays the
+  hash chain, truncates any torn tail, and re-runs only missing
+  units — bytes end up identical to a never-interrupted run;
+* no journal yet → the crash landed before the campaign started;
+  re-enqueue fresh.
+
+``run_id`` allocation is a per-tenant counter continued from the
+directory scan (``c000001``, ``c000002``, …) — deterministic, and
+collision-free across restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import re
+from typing import Dict, List, Optional, Tuple
+
+from ..runner.atomicio import read_json, replace_json
+
+_RUN_ID_RE = re.compile(r"^c(\d{6})$")
+
+#: States that mean "this run needs no further work".
+FINAL_STATES = ("complete", "failed")
+
+
+@dataclasses.dataclass
+class CampaignJob:
+    """One accepted campaign: where it lives and what it asked for."""
+
+    tenant: str
+    run_id: str
+    job_dir: str
+    submission: Dict
+    #: Continue an existing journal instead of starting fresh.
+    resume: bool = False
+
+    @property
+    def slots(self) -> int:
+        return int(self.submission.get("workers") or 1)
+
+    @property
+    def run_dir(self) -> str:
+        return os.path.join(self.job_dir, "run")
+
+    @property
+    def status_path(self) -> str:
+        return os.path.join(self.job_dir, "status.json")
+
+    @property
+    def journal_path(self) -> str:
+        return os.path.join(self.run_dir, "journal.jsonl")
+
+
+class Spool:
+    """Per-tenant durable campaign storage under one root."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+
+    def ensure(self, tenants) -> None:
+        os.makedirs(self.root, exist_ok=True)
+        for name in tenants:
+            os.makedirs(os.path.join(self.root, name), exist_ok=True)
+
+    def writable(self) -> bool:
+        """Probe write for readiness: can we still accept work?"""
+        probe = os.path.join(self.root, ".probe.tmp")
+        try:
+            with open(probe, "w", encoding="utf-8") as fh:
+                fh.write("probe")
+            os.remove(probe)
+            return True
+        except OSError:
+            return False
+
+    # -- submission ---------------------------------------------------
+
+    def next_run_id(self, tenant: str) -> str:
+        highest = 0
+        tenant_dir = os.path.join(self.root, tenant)
+        try:
+            names = os.listdir(tenant_dir)
+        except OSError:
+            names = []
+        for name in names:
+            match = _RUN_ID_RE.match(name)
+            if match:
+                highest = max(highest, int(match.group(1)))
+        return f"c{highest + 1:06d}"
+
+    def accept(self, tenant: str, submission: Dict) -> CampaignJob:
+        """Durably record a submission; returns the spooled job.
+
+        The directory plus ``submission.json`` and ``status.json``
+        land *before* the caller acknowledges the tenant, so an
+        accepted campaign survives any crash from here on.
+        """
+        run_id = self.next_run_id(tenant)
+        job_dir = os.path.join(self.root, tenant, run_id)
+        os.makedirs(job_dir)
+        job = CampaignJob(tenant=tenant, run_id=run_id, job_dir=job_dir,
+                          submission=dict(submission))
+        replace_json(os.path.join(job_dir, "submission.json"),
+                     job.submission)
+        self.set_state(job, "queued")
+        return job
+
+    def set_state(self, job: CampaignJob, state: str, **extra) -> None:
+        payload = {"state": state, "tenant": job.tenant,
+                   "run_id": job.run_id}
+        payload.update(extra)
+        replace_json(job.status_path, payload)
+
+    def read_state(self, job_dir: str) -> Dict:
+        return read_json(os.path.join(job_dir, "status.json"),
+                         default={}) or {}
+
+    # -- recovery -----------------------------------------------------
+
+    def jobs(self, tenant: str) -> List[CampaignJob]:
+        """Every spooled job for *tenant*, oldest first."""
+        tenant_dir = os.path.join(self.root, tenant)
+        try:
+            names = sorted(n for n in os.listdir(tenant_dir)
+                           if _RUN_ID_RE.match(n))
+        except OSError:
+            return []
+        out = []
+        for name in names:
+            job_dir = os.path.join(tenant_dir, name)
+            submission = read_json(
+                os.path.join(job_dir, "submission.json"), default=None)
+            if submission is None:
+                # Torn mid-accept (crash between mkdir and the
+                # submission write): nothing to run, mark and move on.
+                job = CampaignJob(tenant=tenant, run_id=name,
+                                  job_dir=job_dir, submission={})
+                self.set_state(job, "failed",
+                               reason="submission unreadable")
+                continue
+            out.append(CampaignJob(tenant=tenant, run_id=name,
+                                   job_dir=job_dir,
+                                   submission=submission))
+        return out
+
+    def recover(self, tenants) -> Tuple[List[CampaignJob], List[Dict]]:
+        """Scan the spool; return ``(jobs_to_enqueue, finalized)``.
+
+        ``finalized`` describes runs whose journal proves they had
+        already finished (reported, not re-run).
+        """
+        to_run: List[CampaignJob] = []
+        finalized: List[Dict] = []
+        for tenant in sorted(tenants):
+            for job in self.jobs(tenant):
+                state = self.read_state(job.job_dir).get("state")
+                if state in FINAL_STATES:
+                    continue
+                end_status = _journal_end_status(job.journal_path)
+                if end_status is not None:
+                    # Finished before the crash; only status.json was
+                    # lost.  Record the truth, skip the re-run.
+                    final = ("complete" if end_status == "complete"
+                             else "failed")
+                    self.set_state(job, final, end=end_status,
+                                   recovered=True)
+                    finalized.append({"tenant": tenant,
+                                      "run_id": job.run_id,
+                                      "state": final})
+                    continue
+                job.resume = os.path.exists(job.journal_path)
+                self.set_state(job, "queued", recovered=True,
+                               resume=job.resume)
+                to_run.append(job)
+        return to_run, finalized
+
+
+def _journal_end_status(journal_path: str) -> Optional[str]:
+    """The journal's ``end`` status, or ``None`` if it never ended."""
+    if not os.path.exists(journal_path):
+        return None
+    from ..runner.journal import Journal
+
+    try:
+        records, _ = Journal.load(journal_path)
+    except Exception:
+        # Unreadable head: let the resume machinery (which truncates
+        # torn tails and validates the chain) deal with it.
+        return None
+    for rec in reversed(records):
+        if rec.get("type") == "end":
+            return rec.get("status", "partial")
+    return None

@@ -1,0 +1,63 @@
+"""Server-Sent Events framing for the live feed.
+
+The service publishes every campaign lifecycle and supervision event
+to one process-wide :class:`~repro.obs.live.LiveFeed`; SSE handlers
+subscribe, filter, and frame.  Framing follows the WHATWG EventSource
+wire format:
+
+* ``id:`` carries the feed sequence number, so a reconnecting client
+  can detect gaps after drops;
+* ``event:`` is the event's ``kind`` (``unit-committed``,
+  ``supervision``, ``campaign-end``, …);
+* ``data:`` is the event as compact JSON, one line (the feed never
+  embeds newlines in events).
+
+Comment frames (``: keepalive``) ride the stream between events so an
+idle connection is distinguishable from a dead one.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+#: Seconds between keepalive comments on an idle SSE stream.
+KEEPALIVE_SECONDS = 15.0
+
+SSE_HEADERS = (
+    ("Content-Type", "text/event-stream; charset=utf-8"),
+    ("Cache-Control", "no-store"),
+    ("Connection", "close"),
+)
+
+
+def format_event(event: Dict) -> bytes:
+    """One event as a complete SSE frame."""
+    body = json.dumps(event, sort_keys=True, separators=(",", ":"))
+    lines = []
+    if "seq" in event:
+        lines.append(f"id: {event['seq']}")
+    lines.append(f"event: {event.get('kind', 'message')}")
+    lines.append(f"data: {body}")
+    return ("\n".join(lines) + "\n\n").encode("utf-8")
+
+
+def keepalive() -> bytes:
+    return b": keepalive\n\n"
+
+
+def matches(event: Dict, tenant: Optional[str] = None,
+            run_id: Optional[str] = None) -> bool:
+    """Does *event* belong on a stream scoped to tenant/run?
+
+    Service-level events (no tenant tag, e.g. ``service-drain``) are
+    delivered on every stream: a client watching one run still wants
+    to know the service is going away.
+    """
+    if event.get("tenant") is None:
+        return True
+    if tenant is not None and event.get("tenant") != tenant:
+        return False
+    if run_id is not None and event.get("run_id") != run_id:
+        return False
+    return True

@@ -1,0 +1,90 @@
+"""Tenant identity and quotas.
+
+A tenant is a named principal with a fair-share **weight** and two
+admission quotas:
+
+* ``max_slots`` — worker slots its *running* campaigns may occupy at
+  once (its cap on in-flight units, since each slot runs one unit at
+  a time);
+* ``max_queued`` — campaigns it may hold in the admission queue.
+
+Tenants are declared on the command line as ``--tenant SPEC`` where
+``SPEC`` is ``name[:weight[:max_slots[:max_queued]]]`` — e.g.
+``--tenant noc:3:4:8`` or just ``--tenant studentlab``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Dict, Optional, Sequence
+
+#: Queued campaigns a tenant may hold unless its spec says otherwise.
+DEFAULT_MAX_QUEUED = 4
+
+#: Tenant names double as spool directory names and URL segments.
+_NAME_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+
+
+class TenantSpecError(ValueError):
+    """A ``--tenant`` spec that cannot be parsed."""
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantConfig:
+    """One tenant's declared weight and quotas."""
+
+    name: str
+    weight: int = 1
+    #: ``None`` means "up to the service's whole slot budget".
+    max_slots: Optional[int] = None
+    max_queued: int = DEFAULT_MAX_QUEUED
+
+    def resolved_max_slots(self, total_slots: int) -> int:
+        if self.max_slots is None:
+            return total_slots
+        return min(self.max_slots, total_slots)
+
+
+def parse_tenant_spec(spec: str) -> TenantConfig:
+    """``name[:weight[:max_slots[:max_queued]]]`` → :class:`TenantConfig`."""
+    parts = spec.split(":")
+    if len(parts) > 4:
+        raise TenantSpecError(
+            f"tenant spec {spec!r} has too many fields (expected "
+            f"name[:weight[:max_slots[:max_queued]]])")
+    name = parts[0]
+    if not _NAME_RE.match(name):
+        raise TenantSpecError(
+            f"tenant name {name!r} is invalid (letters, digits, "
+            f"'.', '_', '-'; must not start with punctuation)")
+    try:
+        weight = int(parts[1]) if len(parts) > 1 and parts[1] else 1
+        max_slots = (int(parts[2])
+                     if len(parts) > 2 and parts[2] else None)
+        max_queued = (int(parts[3])
+                      if len(parts) > 3 and parts[3]
+                      else DEFAULT_MAX_QUEUED)
+    except ValueError:
+        raise TenantSpecError(
+            f"tenant spec {spec!r} has a non-integer field")
+    if weight < 1:
+        raise TenantSpecError(f"tenant {name!r}: weight must be >= 1")
+    if max_slots is not None and max_slots < 1:
+        raise TenantSpecError(f"tenant {name!r}: max_slots must be >= 1")
+    if max_queued < 1:
+        raise TenantSpecError(f"tenant {name!r}: max_queued must be >= 1")
+    return TenantConfig(name=name, weight=weight, max_slots=max_slots,
+                        max_queued=max_queued)
+
+
+def parse_tenants(specs: Sequence[str]) -> Dict[str, TenantConfig]:
+    """Parse and index ``--tenant`` specs, rejecting duplicates."""
+    tenants: Dict[str, TenantConfig] = {}
+    for spec in specs:
+        config = parse_tenant_spec(spec)
+        if config.name in tenants:
+            raise TenantSpecError(
+                f"tenant {config.name!r} declared twice")
+        tenants[config.name] = config
+    return tenants

@@ -1,0 +1,92 @@
+"""LiveFeed: thread-safe fan-out, bounded queues, replay."""
+
+import threading
+
+from repro.obs.live import LiveFeed
+
+
+class TestLiveFeed:
+    def test_publish_reaches_every_subscriber(self):
+        feed = LiveFeed()
+        a = feed.subscribe()
+        b = feed.subscribe()
+        feed.publish({"kind": "x"})
+        assert a.pop(0)["kind"] == "x"
+        assert b.pop(0)["kind"] == "x"
+
+    def test_sequence_stamping(self):
+        feed = LiveFeed()
+        sub = feed.subscribe()
+        feed.publish({"kind": "a"})
+        feed.publish({"kind": "b"})
+        assert [sub.pop(0)["seq"], sub.pop(0)["seq"]] == [0, 1]
+
+    def test_slow_subscriber_drops_oldest_only(self):
+        feed = LiveFeed()
+        sub = feed.subscribe(depth=3)
+        for i in range(5):
+            feed.publish({"kind": "e", "i": i})
+        assert sub.dropped == 2
+        assert [e["i"] for e in sub.drain()] == [2, 3, 4]
+        # the producer and the other subscribers never noticed
+        assert feed.published == 5
+
+    def test_replay_for_late_joiners(self):
+        feed = LiveFeed(replay=2)
+        for i in range(4):
+            feed.publish({"kind": "e", "i": i})
+        late = feed.subscribe()
+        assert [e["i"] for e in late.drain()] == [2, 3]
+        no_replay = feed.subscribe(replay=False)
+        assert no_replay.drain() == []
+
+    def test_close_wakes_blocked_pop(self):
+        feed = LiveFeed()
+        sub = feed.subscribe()
+        result = {}
+
+        def blocked():
+            result["event"] = sub.pop(timeout=5)
+
+        thread = threading.Thread(target=blocked)
+        thread.start()
+        feed.close()
+        thread.join(timeout=5)
+        assert not thread.is_alive()
+        assert result["event"] is None
+
+    def test_publish_after_close_is_noop(self):
+        feed = LiveFeed()
+        sub = feed.subscribe()
+        feed.close()
+        feed.publish({"kind": "late"})
+        assert feed.published == 0
+        assert sub.drain() == []
+
+    def test_on_ready_wakeup_fires_outside_lock(self):
+        feed = LiveFeed()
+        sub = feed.subscribe()
+        fired = []
+        # a wakeup that itself touches the feed would deadlock if the
+        # lock were still held
+        sub.on_ready = lambda: fired.append(feed.subscribers)
+        feed.publish({"kind": "x"})
+        assert fired == [1]
+
+    def test_concurrent_publishers(self):
+        feed = LiveFeed()
+        sub = feed.subscribe(depth=4096)
+
+        def spam(tag):
+            for i in range(100):
+                feed.publish({"kind": tag, "i": i})
+
+        threads = [threading.Thread(target=spam, args=(str(t),))
+                   for t in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        events = sub.drain()
+        assert len(events) == 400
+        assert sorted(e["seq"] for e in events) == list(range(400))

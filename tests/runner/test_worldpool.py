@@ -1,0 +1,121 @@
+"""Resident hot worlds: pool mechanics and byte-identity.
+
+The pool may skip inline world builds only if a hot checkout is
+byte-indistinguishable from a cold build — same world, same
+process-global allocator streams (DNS qids, client ports).  These
+tests pin the pool bookkeeping and the end-to-end guarantee: a
+supervised warm-worlds campaign writes the same journal and tables as
+the plain serial seed path.
+"""
+
+import pytest
+
+from repro.runner.campaign import Campaign
+from repro.runner.parallel import UnitSettings, build_unit_world
+from repro.runner.worldpool import POOL_DEPTH, PoolStats, WorldPool, \
+    _settings_key, stats
+
+SETTINGS = UnitSettings(seed=1808, scale=0.05, fraction=1.0)
+
+
+class TestPoolMechanics:
+    def test_prebuild_fills_to_depth(self):
+        pool = WorldPool()
+        assert pool.prebuild(SETTINGS) is True
+        assert pool.prebuild(SETTINGS) is False  # already at depth
+
+    def test_checkout_hot_then_miss(self):
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        assert pool.checkout(SETTINGS) is not None
+        assert (pool.hits, pool.misses) == (1, 0)
+        assert pool.checkout(SETTINGS) is not None  # built inline
+        assert (pool.hits, pool.misses) == (1, 1)
+
+    def test_worlds_never_reused(self):
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        first = pool.checkout(SETTINGS)
+        second = pool.checkout(SETTINGS)
+        assert first is not second
+
+    def test_settings_key_ignores_execution_knobs(self):
+        """unit_steps/trace configure execution, not construction —
+        they must not fragment the pool."""
+        variant = UnitSettings(seed=1808, scale=0.05, fraction=0.5,
+                               unit_steps=99, trace=True,
+                               warm_worlds=True)
+        assert _settings_key(SETTINGS) == _settings_key(variant)
+
+    def test_settings_key_splits_on_world_inputs(self):
+        for changed in (dict(seed=7), dict(scale=0.1), dict(loss=0.05),
+                        dict(fault_seed=3), dict(retries=2)):
+            base = dict(seed=1808, scale=0.05, fraction=1.0)
+            base.update(changed)
+            other = UnitSettings(**base)
+            assert _settings_key(SETTINGS) != _settings_key(other), \
+                changed
+
+    def test_checkout_across_keys_misses(self):
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        other = UnitSettings(seed=7, scale=0.05, fraction=1.0)
+        pool.checkout(other)
+        assert (pool.hits, pool.misses) == (0, 1)
+
+    def test_clear_drops_stock(self):
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        pool.clear()
+        pool.checkout(SETTINGS)
+        assert (pool.hits, pool.misses) == (0, 1)
+
+    def test_stats_snapshot(self):
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        pool.checkout(SETTINGS)
+        pool.checkout(SETTINGS)
+        snap = stats(pool)
+        assert snap == PoolStats(hits=1, misses=1)
+        assert snap.hit_rate == 0.5
+        assert stats(WorldPool()).hit_rate == 0.0
+
+    def test_default_depth_is_one(self):
+        # the worker loop is strictly serial: prebuild one, consume one
+        assert POOL_DEPTH == 1
+
+
+class TestHotCheckoutEquivalence:
+    def test_hot_world_matches_cold_build(self):
+        """A prebuilt world must leave the process (and itself) in the
+        same deterministic state as an inline build at checkout time."""
+        from repro.dnssim.client import reset_client_ports
+        from repro.dnssim.message import reset_qids
+
+        pool = WorldPool()
+        pool.prebuild(SETTINGS)
+        hot = pool.checkout(SETTINGS)
+        reset_qids()
+        reset_client_ports()
+        cold = build_unit_world(SETTINGS)
+        assert type(hot) is type(cold)
+        assert sorted(hot.isps) == sorted(cold.isps)
+
+
+class TestWarmCampaignByteIdentity:
+    @pytest.mark.parametrize("workers", (1, 2))
+    def test_supervised_warm_matches_serial(self, tmp_path, workers):
+        serial = Campaign(experiments=["tcpip", "table3"], seed=1808,
+                          scale=0.05, fraction=1.0,
+                          run_dir=str(tmp_path / "serial")).run()
+        warm = Campaign(experiments=["tcpip", "table3"], seed=1808,
+                        scale=0.05, fraction=1.0,
+                        run_dir=str(tmp_path / f"warm{workers}"),
+                        workers=workers, supervised=True,
+                        warm_worlds=True).run()
+        assert warm.complete
+        for attr in ("journal_path", "tables_path"):
+            with open(getattr(warm, attr), "rb") as fh:
+                produced = fh.read()
+            with open(getattr(serial, attr), "rb") as fh:
+                assert produced == fh.read(), attr

@@ -1,0 +1,146 @@
+"""FairScheduler: stride fairness, quotas, deterministic rejections."""
+
+import pytest
+
+from repro.serve.scheduler import AdmissionError, FairScheduler
+from repro.serve.tenants import parse_tenants
+
+
+class Job:
+    def __init__(self, run_id, slots=1):
+        self.run_id = run_id
+        self.slots = slots
+
+
+def _sched(specs, slots=4):
+    return FairScheduler(parse_tenants(specs), slots)
+
+
+def _drain_dispatch(sched):
+    order = []
+    while True:
+        picked = sched.next_job()
+        if picked is None:
+            return order
+        order.append((picked[0], picked[1].run_id))
+
+
+class TestFairShare:
+    def test_weighted_interleave(self):
+        """A weight-2 tenant gets twice the dispatch share."""
+        sched = _sched(["heavy:2:1:8", "light:1:1:8"], slots=1)
+        for i in range(4):
+            sched.submit("heavy", Job(f"h{i}"))
+            sched.submit("light", Job(f"l{i}"))
+        order = []
+        for _ in range(6):
+            tenant, job = sched.next_job()
+            order.append(job.run_id)
+            sched.release(tenant, job.slots)
+        # stride: heavy advances half as fast, so the pattern settles
+        # into two heavy dispatches per light one.
+        assert order == ["h0", "l0", "h1", "h2", "l1", "h3"]
+
+    def test_ties_break_by_name(self):
+        sched = _sched(["b", "a"], slots=2)
+        sched.submit("b", Job("b1"))
+        sched.submit("a", Job("a1"))
+        assert _drain_dispatch(sched) == [("a", "a1"), ("b", "b1")]
+
+    def test_burst_cannot_starve(self):
+        """One tenant queueing a burst still alternates with another."""
+        sched = _sched(["spammer:1:1:8", "victim:1:1:8"], slots=1)
+        for i in range(5):
+            sched.submit("spammer", Job(f"s{i}"))
+        sched.submit("victim", Job("v0"))
+        tenant, job = sched.next_job()
+        assert job.run_id == "s0"
+        sched.release(tenant, 1)
+        tenant, job = sched.next_job()
+        assert job.run_id == "v0", "victim waited behind the burst"
+
+    def test_dispatch_respects_slot_budget(self):
+        sched = _sched(["a"], slots=2)
+        sched.submit("a", Job("big", slots=2))
+        sched.submit("a", Job("small", slots=1))
+        assert _drain_dispatch(sched) == [("a", "big")]
+        sched.release("a", 2)
+        assert _drain_dispatch(sched) == [("a", "small")]
+
+    def test_per_tenant_slot_quota(self):
+        sched = _sched(["a:1:1:8", "b"], slots=4)
+        sched.submit("a", Job("a1"))
+        sched.submit("a", Job("a2"))
+        sched.submit("b", Job("b1"))
+        # a2 must wait: tenant 'a' may only hold one slot at a time.
+        assert _drain_dispatch(sched) == [("a", "a1"), ("b", "b1")]
+        sched.release("a", 1)
+        assert _drain_dispatch(sched) == [("a", "a2")]
+
+
+class TestAdmission:
+    def test_unknown_tenant(self):
+        sched = _sched(["a"])
+        with pytest.raises(AdmissionError) as exc:
+            sched.submit("nobody", Job("x"))
+        assert exc.value.status == 404
+        assert exc.value.payload == {
+            "error": "unknown-tenant",
+            "detail": "tenant 'nobody' is not configured on this "
+                      "service",
+            "tenant": "nobody",
+        }
+
+    def test_queue_full_payload_is_deterministic(self):
+        sched = _sched(["a:1:4:2"])
+        sched.submit("a", Job("1"))
+        sched.submit("a", Job("2"))
+        payloads = []
+        for _ in range(3):
+            with pytest.raises(AdmissionError) as exc:
+                sched.submit("a", Job("3"))
+            assert exc.value.status == 429
+            payloads.append(exc.value.payload)
+        assert payloads[0] == payloads[1] == payloads[2] == {
+            "error": "queue-full",
+            "detail": "tenant 'a' already has 2 queued campaign(s) "
+                      "(max 2)",
+            "tenant": "a",
+            "limit": 2,
+        }
+
+    def test_over_quota_slots(self):
+        sched = _sched(["a:1:2:4"], slots=8)
+        with pytest.raises(AdmissionError) as exc:
+            sched.submit("a", Job("x", slots=3))
+        assert exc.value.status == 429
+        assert exc.value.payload["error"] == "over-quota"
+        assert exc.value.payload["limit"] == 2
+        assert exc.value.payload["requested"] == 3
+
+    def test_rejection_leaves_no_state(self):
+        sched = _sched(["a:1:4:1"])
+        sched.submit("a", Job("1"))
+        with pytest.raises(AdmissionError):
+            sched.submit("a", Job("2"))
+        assert sched.queued_total == 1
+        assert sched.free_slots == sched.total_slots
+
+
+class TestIntrospection:
+    def test_snapshot_shape(self):
+        sched = _sched(["a:2:2:3"], slots=4)
+        sched.submit("a", Job("1"))
+        snap = sched.snapshot()
+        assert snap["total_slots"] == 4
+        assert snap["tenants"]["a"] == {
+            "weight": 2, "max_slots": 2, "max_queued": 3,
+            "queued": 1, "slots_in_use": 0, "dispatched": 0,
+        }
+
+    def test_busy_and_capacity(self):
+        sched = _sched(["a:1:4:2", "b:1:4:3"])
+        assert sched.queue_capacity == 5
+        assert not sched.busy
+        sched.submit("a", Job("1"))
+        assert sched.busy

@@ -1,0 +1,112 @@
+"""Spool durability and the boot-time recovery state machine."""
+
+import json
+import os
+
+from repro.runner.journal import Journal
+from repro.serve.recovery import Spool
+
+
+def _spool(tmp_path):
+    spool = Spool(str(tmp_path / "spool"))
+    spool.ensure(["alice", "bob"])
+    return spool
+
+
+def _read_status(job):
+    with open(job.status_path, encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _fake_journal(job, *, ended=None, units=2):
+    """A real hash-chained journal, optionally with an end record."""
+    os.makedirs(job.run_dir, exist_ok=True)
+    journal = Journal.create(job.journal_path)
+    journal.append({"type": "meta", "seed": 1})
+    for i in range(units):
+        journal.append({"type": "unit", "experiment": "tcpip",
+                        "unit": f"u{i}", "status": "ok"})
+    if ended is not None:
+        journal.append({"type": "end", "status": ended})
+
+
+class TestSpoolBasics:
+    def test_accept_is_durable_before_ack(self, tmp_path):
+        spool = _spool(tmp_path)
+        job = spool.accept("alice", {"experiments": ["tcpip"],
+                                     "workers": 1})
+        assert os.path.exists(os.path.join(job.job_dir,
+                                           "submission.json"))
+        assert _read_status(job)["state"] == "queued"
+
+    def test_run_ids_monotonic_and_restart_safe(self, tmp_path):
+        spool = _spool(tmp_path)
+        first = spool.accept("alice", {})
+        second = spool.accept("alice", {})
+        assert (first.run_id, second.run_id) == ("c000001", "c000002")
+        # a fresh Spool over the same root continues the counter
+        reborn = Spool(spool.root)
+        assert reborn.next_run_id("alice") == "c000003"
+        assert reborn.next_run_id("bob") == "c000001"
+
+    def test_writable_probe(self, tmp_path):
+        spool = _spool(tmp_path)
+        assert spool.writable()
+        assert not Spool(str(tmp_path / "missing")).writable()
+
+
+class TestRecovery:
+    def test_final_states_left_alone(self, tmp_path):
+        spool = _spool(tmp_path)
+        done = spool.accept("alice", {})
+        spool.set_state(done, "complete")
+        failed = spool.accept("alice", {})
+        spool.set_state(failed, "failed")
+        jobs, finalized = spool.recover(["alice", "bob"])
+        assert jobs == [] and finalized == []
+
+    def test_queued_without_journal_reruns_fresh(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.accept("alice", {"workers": 2})
+        jobs, _ = spool.recover(["alice", "bob"])
+        assert len(jobs) == 1
+        assert not jobs[0].resume
+        assert jobs[0].slots == 2
+        assert _read_status(jobs[0])["recovered"] is True
+
+    def test_interrupted_with_open_journal_resumes(self, tmp_path):
+        spool = _spool(tmp_path)
+        job = spool.accept("bob", {})
+        spool.set_state(job, "running")
+        _fake_journal(job, ended=None)
+        jobs, _ = spool.recover(["alice", "bob"])
+        assert [j.run_id for j in jobs] == [job.run_id]
+        assert jobs[0].resume, "open journal must be resumed, not redone"
+
+    def test_ended_journal_finalizes_without_rerun(self, tmp_path):
+        """Crash between the journal's end record and the status
+        write: recovery trusts the journal and does not re-run."""
+        spool = _spool(tmp_path)
+        job = spool.accept("alice", {})
+        spool.set_state(job, "running")
+        _fake_journal(job, ended="complete")
+        jobs, finalized = spool.recover(["alice", "bob"])
+        assert jobs == []
+        assert finalized == [{"tenant": "alice", "run_id": job.run_id,
+                              "state": "complete"}]
+        assert _read_status(job)["state"] == "complete"
+
+    def test_torn_submission_marked_failed(self, tmp_path):
+        spool = _spool(tmp_path)
+        job_dir = os.path.join(spool.root, "alice", "c000001")
+        os.makedirs(job_dir)  # crash before submission.json landed
+        jobs, _ = spool.recover(["alice", "bob"])
+        assert jobs == []
+        status = spool.read_state(job_dir)
+        assert status["state"] == "failed"
+
+    def test_unconfigured_tenant_dirs_ignored(self, tmp_path):
+        spool = _spool(tmp_path)
+        spool.accept("alice", {})
+        jobs, _ = spool.recover(["bob"])  # alice not configured now
+        assert jobs == []

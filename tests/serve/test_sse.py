@@ -1,0 +1,41 @@
+"""SSE framing and stream scoping."""
+
+from repro.serve.sse import format_event, keepalive, matches
+
+
+class TestFraming:
+    def test_frame_shape(self):
+        frame = format_event({"kind": "unit-committed", "seq": 7,
+                              "unit": "mtnl"}).decode()
+        lines = frame.splitlines()
+        assert lines[0] == "id: 7"
+        assert lines[1] == "event: unit-committed"
+        assert lines[2].startswith("data: {")
+        assert frame.endswith("\n\n")
+
+    def test_data_is_compact_sorted_json(self):
+        frame = format_event({"kind": "x", "b": 1, "a": 2}).decode()
+        assert 'data: {"a":2,"b":1,"kind":"x"}' in frame
+
+    def test_seqless_event_has_no_id(self):
+        assert b"id:" not in format_event({"kind": "x"})
+
+    def test_keepalive_is_a_comment(self):
+        assert keepalive().startswith(b":")
+
+
+class TestScoping:
+    def test_tenant_scope(self):
+        event = {"kind": "unit-committed", "tenant": "a", "run_id": "c1"}
+        assert matches(event, tenant="a")
+        assert not matches(event, tenant="b")
+
+    def test_run_scope(self):
+        event = {"kind": "unit-committed", "tenant": "a", "run_id": "c1"}
+        assert matches(event, tenant="a", run_id="c1")
+        assert not matches(event, tenant="a", run_id="c2")
+
+    def test_service_events_reach_every_stream(self):
+        drain = {"kind": "service-drain", "reason": "SIGTERM"}
+        assert matches(drain, tenant="a", run_id="c1")
+        assert matches(drain)

@@ -1,0 +1,53 @@
+"""``--tenant`` spec parsing: names, quotas, and rejections."""
+
+import pytest
+
+from repro.serve.tenants import (
+    DEFAULT_MAX_QUEUED,
+    TenantSpecError,
+    parse_tenant_spec,
+    parse_tenants,
+)
+
+
+class TestParseTenantSpec:
+    def test_bare_name_gets_defaults(self):
+        config = parse_tenant_spec("alice")
+        assert config.name == "alice"
+        assert config.weight == 1
+        assert config.max_slots is None
+        assert config.max_queued == DEFAULT_MAX_QUEUED
+
+    def test_full_spec(self):
+        config = parse_tenant_spec("noc:3:4:8")
+        assert (config.name, config.weight, config.max_slots,
+                config.max_queued) == ("noc", 3, 4, 8)
+
+    def test_empty_fields_fall_back_to_defaults(self):
+        config = parse_tenant_spec("lab::2")
+        assert config.weight == 1
+        assert config.max_slots == 2
+
+    def test_max_slots_capped_by_budget(self):
+        assert parse_tenant_spec("a:1:64").resolved_max_slots(4) == 4
+        assert parse_tenant_spec("a").resolved_max_slots(4) == 4
+        assert parse_tenant_spec("a:1:2").resolved_max_slots(4) == 2
+
+    @pytest.mark.parametrize("spec", [
+        "", "/etc", "a:b", "a:0", "a:1:0", "a:1:1:0", "a:1:1:1:1",
+        "..", "-dash-first",
+    ])
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(TenantSpecError):
+            parse_tenant_spec(spec)
+
+
+class TestParseTenants:
+    def test_duplicates_rejected(self):
+        with pytest.raises(TenantSpecError, match="declared twice"):
+            parse_tenants(["alice", "alice:2"])
+
+    def test_indexing(self):
+        tenants = parse_tenants(["b", "a:2"])
+        assert sorted(tenants) == ["a", "b"]
+        assert tenants["a"].weight == 2

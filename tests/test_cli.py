@@ -91,3 +91,68 @@ class TestCommands:
         out = capsys.readouterr().out
         assert '"type":"meta"' in out
         assert '"type":"end"' in out
+
+
+class TestCampaignCli:
+    """The campaign CLI's resume ergonomics: every hint it prints must
+    work verbatim when pasted back."""
+
+    def _run(self, run_dir):
+        return main(["campaign", "tcpip", "--scale", "0.05",
+                     "--seed", "7", "--run-dir", run_dir])
+
+    def test_existing_run_dir_hint_matches_cli(self, capsys, tmp_path,
+                                               monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "1.0")
+        run_dir = str(tmp_path / "run")
+        assert self._run(run_dir) == 0
+        with pytest.raises(SystemExit) as exc:
+            self._run(run_dir)
+        message = str(exc.value)
+        assert (f"continue it with repro campaign --resume {run_dir}"
+                in message)
+        assert "or choose a fresh run directory" in message
+
+    def test_bare_resume_adopts_journal_settings(self, capsys,
+                                                 tmp_path,
+                                                 monkeypatch):
+        """The printed hint is flagless — resume must adopt seed,
+        scale, experiments, … from the journal meta."""
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "1.0")
+        run_dir = str(tmp_path / "run")
+        assert self._run(run_dir) == 0
+        capsys.readouterr()
+        assert main(["campaign", "--resume", run_dir]) == 0
+
+    def test_explicit_conflicting_flag_still_rejected(self, capsys,
+                                                      tmp_path,
+                                                      monkeypatch):
+        """Adoption covers omitted flags only: typing a conflicting
+        value must still fail the meta check."""
+        monkeypatch.setenv("REPRO_BENCH_FRACTION", "1.0")
+        run_dir = str(tmp_path / "run")
+        assert self._run(run_dir) == 0
+        with pytest.raises(SystemExit) as exc:
+            main(["campaign", "--resume", run_dir, "--seed", "8"])
+        assert "seed" in str(exc.value)
+
+
+class TestServeParser:
+    def test_flags_parse(self):
+        args = build_parser().parse_args(
+            ["serve", "--host", "127.0.0.1", "--port", "0",
+             "--spool", "s", "--workers", "3",
+             "--tenant", "alice:2:2:4", "--tenant", "bob",
+             "--default-workers", "2", "--cold-worlds"])
+        assert args.command == "serve"
+        assert args.port == 0
+        assert args.tenant == ["alice:2:2:4", "bob"]
+        assert args.cold_worlds is True
+
+    def test_bad_tenant_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--tenant", "bad:spec:zero:0"])
+
+    def test_bad_workers_exits(self):
+        with pytest.raises(SystemExit):
+            main(["serve", "--workers", "0"])

@@ -12,7 +12,8 @@ _SPEC.loader.exec_module(check_docs)
 
 #: Every page docs/README.md must index.
 DOC_PAGES = ("OBSERVABILITY.md", "CAMPAIGNS.md", "FAULTS.md",
-             "FUZZING.md", "PERFORMANCE.md", "PAPER_MAP.md")
+             "FUZZING.md", "PERFORMANCE.md", "PAPER_MAP.md",
+             "SERVICE.md")
 
 
 def test_all_markdown_clean():
@@ -40,4 +41,6 @@ def test_top_level_readme_links_docs_index():
 def test_cli_subcommand_introspection():
     known = check_docs.cli_subcommands()
     assert {"info", "experiment", "campaign", "report", "fuzz",
-            "fetch", "evade", "trace"} <= known
+            "fetch", "evade", "trace", "serve"} <= set(known)
+    assert {"--tenant", "--spool", "--cold-worlds"} <= known["serve"]
+    assert "--resume" in known["campaign"]

@@ -8,7 +8,9 @@ Two checks over the repository's Markdown:
 2. **CLI references are real.**  Every ``repro <subcommand>`` named in
    a code span or fenced code block must be a subcommand that
    ``repro.cli.build_parser`` actually registers — docs can't drift
-   ahead of (or behind) the CLI.
+   ahead of (or behind) the CLI.  Every ``--flag`` written on the same
+   command line must be an option that subcommand actually takes, so a
+   renamed or removed flag can't linger in the docs.
 
 Usage::
 
@@ -37,6 +39,7 @@ _LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
 _FENCE = re.compile(r"```.*?```", re.DOTALL)
 _CODE_SPAN = re.compile(r"`[^`]+`")
 _CLI_REF = re.compile(r"(?:python -m\s+)?\brepro\s+([a-z][a-z-]*)")
+_FLAG = re.compile(r"(--[a-z][a-z-]*)")
 
 
 def doc_paths() -> list:
@@ -68,29 +71,47 @@ def check_links(path: str, text: str) -> list:
     return errors
 
 
-def cli_subcommands() -> set:
-    """The subcommand names build_parser registers, introspected."""
+def cli_subcommands() -> dict:
+    """``subcommand -> set of option strings``, introspected."""
     sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
     from repro.cli import build_parser
 
     parser = build_parser()
     for action in parser._subparsers._group_actions:
-        return set(action.choices)
+        return {name: {opt for sub_action in sub._actions
+                       for opt in sub_action.option_strings}
+                for name, sub in action.choices.items()}
     raise SystemExit("repro.cli.build_parser() has no subparsers")
 
 
-def check_cli_refs(path: str, text: str, known: set) -> list:
-    """``repro <word>`` mentions in code that name no real subcommand."""
+def check_cli_refs(path: str, text: str, known: dict) -> list:
+    """``repro <word> [--flags]`` mentions that don't match cli.py.
+
+    Flags are checked per command line: a ``--flag`` counts against
+    the ``repro <subcommand>`` it shares a (continuation-joined) line
+    with, so prose mentioning a flag in isolation is not flagged.
+    """
     errors = []
+    rel = os.path.relpath(path, REPO_ROOT)
     snippets = _FENCE.findall(text) + _CODE_SPAN.findall(text)
     for snippet in snippets:
-        for match in _CLI_REF.finditer(snippet):
+        for line in snippet.replace("\\\n", " ").splitlines():
+            match = _CLI_REF.search(line)
+            if not match:
+                continue
             word = match.group(1)
             if word not in known:
                 errors.append(
-                    f"{os.path.relpath(path, REPO_ROOT)}: documented "
-                    f"subcommand `repro {word}` does not exist in cli.py "
+                    f"{rel}: documented subcommand `repro {word}` "
+                    f"does not exist in cli.py "
                     f"(known: {', '.join(sorted(known))})")
+                continue
+            for flag in _FLAG.findall(line[match.end():]):
+                if flag not in known[word]:
+                    errors.append(
+                        f"{rel}: `repro {word}` does not take "
+                        f"{flag} (cli.py has: "
+                        f"{', '.join(sorted(known[word]))})")
     return errors
 
 
@@ -110,7 +131,8 @@ def main() -> int:
               f"in {len(paths)} file(s)")
         return 1
     print(f"ok: {len(paths)} Markdown file(s), all links resolve, "
-          f"all CLI references exist ({', '.join(sorted(known))})")
+          f"all CLI references and flags exist "
+          f"({', '.join(sorted(known))})")
     return 0
 
 
