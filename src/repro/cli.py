@@ -58,8 +58,8 @@ from .netsim.faults import DEFAULT_HARDENING, FaultPlan
 #: building the parser doesn't import the whole measurement stack).
 EXPERIMENTS = (
     "table1", "table2", "table3", "fig2", "fig5", "trigger",
-    "dns-mechanism", "tcpip", "statefulness", "evasion",
-    "ooni-failures", "https", "idiosyncrasies",
+    "dns-mechanism", "tcpip", "statefulness", "session-dynamics",
+    "evasion", "ooni-failures", "https", "idiosyncrasies",
 )
 
 
@@ -191,7 +191,7 @@ def build_parser() -> argparse.ArgumentParser:
     fuzz.add_argument("--iterations", type=int, default=2000,
                       help="iterations per target")
     fuzz.add_argument("--target", action="append", default=None,
-                      choices=["http", "dns", "tcp", "diff"],
+                      choices=["http", "dns", "tcp", "diff", "session"],
                       help="fuzz target(s); repeatable (default: all)")
     fuzz.add_argument("--corpus", default=None, metavar="DIR",
                       help="extra corpus entries (*.json) merged with "

@@ -16,6 +16,7 @@ under ``benchmarks/`` and the examples call straight into these.
 | dns_mechanism       | §3.2-III (poisoning vs injection)              |
 | tcpip_filtering     | §3.3 (no TCP/IP filtering)                     |
 | statefulness        | §4.2.1 caveat (handshake gating, flow timeout) |
+| session_dynamics    | §4.2.1/§6.3 (session-table capacity/residual)  |
 | evasion_matrix      | §5 (anti-censorship effectiveness)             |
 | ooni_failures       | §3.1/§6.2 (anatomy of OONI's errors)           |
 """
@@ -29,6 +30,7 @@ from . import (
     https_filtering,
     idiosyncrasies,
     ooni_failures,
+    session_dynamics,
     statefulness,
     table1_ooni,
     table2_http,
@@ -55,6 +57,7 @@ EXPERIMENT_MODULES = {
     "dns-mechanism": dns_mechanism,
     "tcpip": tcpip_filtering,
     "statefulness": statefulness,
+    "session-dynamics": session_dynamics,
     "evasion": evasion_matrix,
     "ooni-failures": ooni_failures,
     "https": https_filtering,
@@ -75,6 +78,7 @@ __all__ = [
     "idiosyncrasies",
     "get_world",
     "ooni_failures",
+    "session_dynamics",
     "statefulness",
     "table1_ooni",
     "table2_http",

@@ -24,9 +24,20 @@ from .corpus import (
     write_fixture,
 )
 from .engine import FuzzEngine, FuzzReport, replay_fixture
-from .harness import model_reassembly, run_dns_probe, run_tcp_schedule
+from .harness import (
+    model_reassembly,
+    run_dns_probe,
+    run_session_schedule,
+    run_tcp_schedule,
+)
 from .minimize import minimize, minimize_bytes, minimize_schedule
-from .mutators import mutate, mutate_dns, mutate_http, mutate_tcp
+from .mutators import (
+    mutate,
+    mutate_dns,
+    mutate_http,
+    mutate_session,
+    mutate_tcp,
+)
 from .oracles import (
     DISCIPLINES,
     DiffResult,
@@ -64,9 +75,11 @@ __all__ = [
     "mutate",
     "mutate_dns",
     "mutate_http",
+    "mutate_session",
     "mutate_tcp",
     "replay_fixture",
     "run_dns_probe",
+    "run_session_schedule",
     "run_tcp_schedule",
     "seed_corpus",
     "write_fixture",

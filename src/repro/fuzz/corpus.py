@@ -30,7 +30,14 @@ from ..httpsim.message import GetRequestSpec
 FUZZ_DOMAIN = "blockedsite.in"
 DECOY_DOMAIN = "allowed-decoy.org"
 
-TARGETS = ("http", "dns", "tcp", "diff")
+TARGETS = ("http", "dns", "tcp", "diff", "session")
+
+#: Session-schedule knob values the mutator draws from.
+SESSION_IDLES = (0.5, 2.0, 6.0, 200.0)
+SESSION_RESIDUALS = (0.0, 5.0)
+SESSION_MAX_OPS = 16
+SESSION_MAX_FLOWS = 8
+SESSION_FLOW_SLOTS = 6
 
 
 # ---------------------------------------------------------------------------
@@ -45,6 +52,8 @@ def encode_entry(target: str, entry) -> Dict:
         return {"schedule": [[off, data.hex()] for off, data in entry]}
     if target == "dns":
         return dict(entry)
+    if target == "session":
+        return dict(entry, ops=[list(op) for op in entry["ops"]])
     raise ValueError(f"unknown fuzz target {target!r}")
 
 
@@ -57,6 +66,8 @@ def decode_entry(target: str, encoded: Dict):
                 for off, data in encoded["schedule"]]
     if target == "dns":
         return dict(encoded)
+    if target == "session":
+        return dict(encoded, ops=[list(op) for op in encoded["ops"]])
     raise ValueError(f"unknown fuzz target {target!r}")
 
 
@@ -130,6 +141,47 @@ def tcp_seed_corpus() -> List[List]:
     return schedules
 
 
+def session_seed_corpus() -> List[Dict]:
+    """Session-table op schedules against bounded scenario boxes.
+
+    Each entry carries the bounded box's configuration (the reference
+    box is always the unbounded idealization) plus an op schedule:
+    ``["open", slot]``, ``["get", slot, "blocked"|"decoy"]``,
+    ``["close", slot]``, ``["idle", seconds]``.  The seeds cover each
+    boundary behaviour the differential oracle knows how to explain.
+    """
+    return [
+        # Plain censorship: both boxes agree everywhere.
+        {"max_flows": 3, "overload": "fail-open", "eviction": "none",
+         "residual": 0.0,
+         "ops": [["open", 0], ["get", 0, "blocked"], ["close", 0]]},
+        # Fail-closed overload: the third handshake is refused.
+        {"max_flows": 2, "overload": "fail-closed", "eviction": "none",
+         "residual": 0.0,
+         "ops": [["open", 0], ["open", 1], ["open", 2],
+                 ["get", 0, "blocked"]]},
+        # Fail-open overload: the third flow passes uninspected.
+        {"max_flows": 2, "overload": "fail-open", "eviction": "none",
+         "residual": 0.0,
+         "ops": [["open", 0], ["open", 1], ["open", 2],
+                 ["get", 2, "blocked"]]},
+        # LRU eviction: flow 0 silently loses its state.
+        {"max_flows": 2, "overload": "fail-open", "eviction": "lru",
+         "residual": 0.0,
+         "ops": [["open", 0], ["open", 1], ["open", 2],
+                 ["get", 0, "blocked"]]},
+        # Residual window: blocked right after a verdict, clear after.
+        {"max_flows": 6, "overload": "fail-open", "eviction": "none",
+         "residual": 5.0,
+         "ops": [["open", 0], ["get", 0, "blocked"], ["open", 1],
+                 ["idle", 6.0], ["open", 2], ["get", 2, "decoy"]]},
+        # Idle past the flow timeout: both boxes forget the flow.
+        {"max_flows": 4, "overload": "fail-closed", "eviction": "none",
+         "residual": 0.0,
+         "ops": [["open", 0], ["idle", 200.0], ["get", 0, "blocked"]]},
+    ]
+
+
 def seed_corpus(target: str) -> List:
     if target in ("http", "diff"):
         return http_seed_corpus()
@@ -137,6 +189,8 @@ def seed_corpus(target: str) -> List:
         return dns_seed_corpus()
     if target == "tcp":
         return tcp_seed_corpus()
+    if target == "session":
+        return session_seed_corpus()
     raise ValueError(f"unknown fuzz target {target!r}")
 
 

@@ -28,7 +28,7 @@ from .corpus import (
     seed_corpus,
     write_fixture,
 )
-from .harness import run_dns_probe, run_tcp_schedule
+from .harness import run_dns_probe, run_session_schedule, run_tcp_schedule
 from .minimize import minimize
 from .mutators import mutate
 from .oracles import DiffResult, check_http_invariants, diff_http
@@ -271,6 +271,8 @@ class FuzzEngine:
                 return run_tcp_schedule(entry)
             if target == "dns":
                 return run_dns_probe(entry)
+            if target == "session":
+                return run_session_schedule(entry)
             raise ValueError(f"unknown fuzz target {target!r}")
         except Exception as exc:  # noqa: BLE001 - the oracle itself
             result = DiffResult()

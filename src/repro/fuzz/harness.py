@@ -12,7 +12,8 @@ explained disagreement classes plus unexplained violations.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from types import SimpleNamespace
+from typing import Dict, List, Optional, Tuple
 
 from ..dnssim.client import dns_lookup
 from ..dnssim.message import DNSQuery, reset_qids
@@ -21,6 +22,7 @@ from ..dnssim.zones import GlobalDNS
 from ..httpsim.message import make_response
 from ..httpsim.parsing import parse_request_unit, split_request_units
 from ..httpsim.server import OriginServer
+from ..middlebox import WiretapMiddlebox, profile_for
 from ..middlebox.triggers import TriggerSpec
 from ..netsim.engine import Network
 from ..netsim.errors import ConnectionError_
@@ -363,3 +365,159 @@ def run_dns_probe(entry: dict) -> DiffResult:
             "dns-poison-miss",
             f"poisoned resolver failed to poison blocked name {qname!r}"))
     return result
+
+
+# ---------------------------------------------------------------------------
+# Session target
+# ---------------------------------------------------------------------------
+
+#: Bounded-box session counters and the disagreement class each names.
+_SESSION_CLASSES = (
+    ("evicted", "eviction-flush"),
+    ("overload_fail_open", "overload-fail-open"),
+    ("overload_fail_closed", "overload-fail-closed"),
+    ("residual_hits", "residual-block"),
+)
+
+
+def _session_world(*, max_flows: Optional[int] = None,
+                   overload: str = "fail-open", eviction: str = "none",
+                   residual: float = 0.0):
+    """One tiny wiretap deployment with the given session parameters."""
+    network = Network()
+    client = network.add_host("fz-client", "10.7.0.1")
+    router = network.add_router("fz-router", "10.7.0.254")
+    server_host = network.add_host("fz-server", "10.7.0.80")
+    network.link("fz-client", "fz-router")
+    network.link("fz-router", "fz-server")
+
+    origin = OriginServer("fz-origin")
+    page = lambda request, ip: make_response(200, b"<html>fuzz</html>")
+    origin.add_domain(FUZZ_DOMAIN, page)
+    origin.add_domain(DECOY_DOMAIN, page)
+    origin.install(server_host, 80)
+
+    box = WiretapMiddlebox(
+        "fz-wm", "fuzz", TriggerSpec(blocklist=BLOCKLIST),
+        profile_for("airtel"), miss_rate=0.0,
+        max_flows=max_flows, overload_policy=overload,
+        eviction_policy=eviction, residual_window=residual)
+    router.attach_tap(box)
+    return SimpleNamespace(network=network, client=client,
+                           server_ip="10.7.0.80", box=box)
+
+
+def _session_counters(box) -> Dict[str, int]:
+    return {name: getattr(box.stats, name) for name, _ in _SESSION_CLASSES}
+
+
+def _replay_session(world, ops) -> Tuple[List[str], List[Dict[str, int]]]:
+    """Outcome label plus post-op box-counter snapshot, per op."""
+    from ..core.measure.probes import CraftedFlow
+
+    outcomes: List[str] = []
+    snapshots: List[Dict[str, int]] = []
+    flows: Dict[int, object] = {}
+    for op in ops:
+        kind = op[0]
+        if kind == "open":
+            slot = int(op[1])
+            stale = flows.pop(slot, None)
+            if stale is not None:
+                stale.close()
+            flow = CraftedFlow(world, world.client, world.server_ip)
+            if flow.open(attempts=1):
+                flows[slot] = flow
+                outcomes.append("ok")
+            else:
+                flow.close()
+                outcomes.append("refused")
+        elif kind == "get":
+            slot = int(op[1])
+            flow = flows.get(slot)
+            if flow is None or flow.conn.state != "ESTABLISHED":
+                # Never opened, or already torn down by a censorship
+                # reaction: nothing left to probe on.
+                if flow is not None:
+                    flows.pop(slot).close()
+                outcomes.append("noflow")
+            else:
+                domain = FUZZ_DOMAIN if op[2] == "blocked" else DECOY_DOMAIN
+                observation = flow.probe_and_observe(domain, duration=0.5)
+                outcomes.append("censored" if observation.censored
+                                else "clean")
+        elif kind == "close":
+            flow = flows.pop(int(op[1]), None)
+            if flow is not None:
+                flow.close()
+            outcomes.append("closed")
+        elif kind == "idle":
+            network = world.network
+            network.run(until=network.now + float(op[1]))
+            outcomes.append("idled")
+        else:
+            outcomes.append("nop")
+        snapshots.append(_session_counters(world.box))
+    for flow in flows.values():
+        flow.close()
+    return outcomes, snapshots
+
+
+def run_session_schedule(entry: dict) -> DiffResult:
+    """Differential replay: bounded session table vs. the unbounded
+    idealization.
+
+    The same op schedule runs against two identical wiretap
+    deployments — one with the entry's finite table / overload policy /
+    residual window, one with the paper's unbounded defaults.  Every
+    per-op outcome disagreement must be explained by a session event
+    the bounded box recorded at or before that op; anything else is a
+    finding, as is session activity on the unbounded reference or the
+    bounded table exceeding its configured capacity.
+    """
+    result = DiffResult()
+    ops = entry.get("ops", [])
+    max_flows = int(entry.get("max_flows", 4))
+    bounded = _session_world(
+        max_flows=max_flows,
+        overload=entry.get("overload", "fail-open"),
+        eviction=entry.get("eviction", "none"),
+        residual=float(entry.get("residual", 0.0)))
+    reference = _session_world()
+    bounded_out, snapshots = _replay_session(bounded, ops)
+    reference_out, _ = _replay_session(reference, ops)
+
+    if bounded.box.flows.high_water > max_flows:
+        result.violations.append((
+            "session-capacity-breach",
+            f"table held {bounded.box.flows.high_water} flows with "
+            f"max_flows={max_flows}"))
+    if any(_session_counters(reference.box).values()):
+        result.violations.append((
+            "session-reference-activity",
+            "unbounded reference box recorded session-table events"))
+
+    for index, (ours, theirs) in enumerate(zip(bounded_out, reference_out)):
+        if ours == theirs:
+            continue
+        cls = _explain_session_diff(snapshots, index)
+        if cls is None:
+            result.violations.append((
+                "session-diff",
+                f"op {index} ({ops[index][0]}): bounded={ours} "
+                f"reference={theirs} with no session event to explain it"))
+        else:
+            result.note(cls)
+    return result
+
+
+def _explain_session_diff(snapshots: List[Dict[str, int]],
+                          index: int) -> Optional[str]:
+    """The class of the nearest session event at or before op *index*."""
+    for position in range(index, -1, -1):
+        previous = (snapshots[position - 1] if position
+                    else {name: 0 for name, _ in _SESSION_CLASSES})
+        for name, cls in _SESSION_CLASSES:
+            if snapshots[position][name] > previous[name]:
+                return cls
+    return None

@@ -116,6 +116,24 @@ def minimize_dns(entry: dict, predicate: Callable[[dict], bool],
     return entry
 
 
+def minimize_session(entry: dict, predicate: Callable[[dict], bool],
+                     budget_limit: int = DEFAULT_BUDGET) -> dict:
+    """Drop ops, then try switching off the box features one by one."""
+    if not predicate(entry):
+        return entry
+    budget = _Budget(budget_limit)
+    ops = _ddmin(list(entry["ops"]),
+                 lambda chunks: dict(entry, ops=list(chunks)),
+                 predicate, budget)
+    entry = dict(entry, ops=list(ops))
+    for simpler in (dict(entry, residual=0.0),
+                    dict(entry, eviction="none"),
+                    dict(entry, overload="fail-open")):
+        if simpler != entry and budget.spend() and predicate(simpler):
+            entry = simpler
+    return entry
+
+
 def minimize(target: str, entry, predicate,
              budget_limit: int = DEFAULT_BUDGET):
     """Dispatch by fuzz target."""
@@ -125,4 +143,6 @@ def minimize(target: str, entry, predicate,
         return minimize_schedule(entry, predicate, budget_limit)
     if target == "dns":
         return minimize_dns(entry, predicate, budget_limit)
+    if target == "session":
+        return minimize_session(entry, predicate, budget_limit)
     raise ValueError(f"unknown fuzz target {target!r}")

@@ -1,4 +1,5 @@
-"""Structured mutators: HTTP streams, DNS queries, TCP schedules.
+"""Structured mutators: HTTP streams, DNS queries, TCP and session
+schedules.
 
 Mutations operate at the protocol's own boundaries — CRLF lines,
 ``name: value`` splits, Host keywords, TCP segment edges — because the
@@ -16,7 +17,15 @@ from __future__ import annotations
 import random
 from typing import Callable, List, Tuple
 
-from .corpus import DECOY_DOMAIN, FUZZ_DOMAIN
+from .corpus import (
+    DECOY_DOMAIN,
+    FUZZ_DOMAIN,
+    SESSION_FLOW_SLOTS,
+    SESSION_IDLES,
+    SESSION_MAX_FLOWS,
+    SESSION_MAX_OPS,
+    SESSION_RESIDUALS,
+)
 
 CRLF = b"\r\n"
 
@@ -410,6 +419,61 @@ def mutate_tcp(rng: random.Random, corpus: List[Schedule]) -> Schedule:
     return schedule[:64]
 
 
+# ---------------------------------------------------------------------------
+# Session-schedule mutators
+# ---------------------------------------------------------------------------
+
+def _random_session_op(rng: random.Random) -> list:
+    slot = rng.randrange(SESSION_FLOW_SLOTS)
+    choice = rng.randrange(4)
+    if choice == 0:
+        return ["open", slot]
+    if choice == 1:
+        return ["get", slot, rng.choice(["blocked", "decoy"])]
+    if choice == 2:
+        return ["close", slot]
+    return ["idle", rng.choice(SESSION_IDLES)]
+
+
+def mutate_session(rng: random.Random, corpus: List[dict]) -> dict:
+    """One session mutant: op-schedule edits and box-knob flips."""
+    picked = corpus[rng.randrange(len(corpus))]
+    entry = dict(picked, ops=[list(op) for op in picked["ops"]])
+    for _ in range(rng.randint(1, 3)):
+        ops = entry["ops"]
+        choice = rng.randrange(8)
+        if choice == 0:     # insert an op
+            ops.insert(rng.randrange(len(ops) + 1), _random_session_op(rng))
+        elif choice == 1:   # delete an op
+            if ops:
+                ops.pop(rng.randrange(len(ops)))
+        elif choice == 2:   # swap adjacent ops
+            if len(ops) >= 2:
+                index = rng.randrange(len(ops) - 1)
+                ops[index], ops[index + 1] = ops[index + 1], ops[index]
+        elif choice == 3:   # duplicate an op (re-open, re-probe)
+            if ops:
+                index = rng.randrange(len(ops))
+                ops.insert(index, list(ops[index]))
+        elif choice == 4:   # retarget one op's flow slot
+            if ops:
+                op = ops[rng.randrange(len(ops))]
+                if op[0] in ("open", "get", "close"):
+                    op[1] = rng.randrange(SESSION_FLOW_SLOTS)
+        elif choice == 5:   # shrink/grow the table
+            entry["max_flows"] = rng.randint(1, SESSION_MAX_FLOWS)
+        elif choice == 6:   # flip overload / eviction policy
+            if rng.random() < 0.5:
+                entry["overload"] = rng.choice(["fail-open", "fail-closed"])
+            else:
+                entry["eviction"] = rng.choice(
+                    ["none", "lru", "oldest-established", "random"])
+        else:               # toggle the residual window
+            entry["residual"] = rng.choice(SESSION_RESIDUALS)
+    entry["ops"] = entry["ops"][:SESSION_MAX_OPS]
+    return entry
+
+
 def mutate(target: str, rng: random.Random, corpus: List):
     """Dispatch by target name."""
     if target in ("http", "diff"):
@@ -418,4 +482,6 @@ def mutate(target: str, rng: random.Random, corpus: List):
         return mutate_dns(rng, corpus)
     if target == "tcp":
         return mutate_tcp(rng, corpus)
+    if target == "session":
+        return mutate_session(rng, corpus)
     raise ValueError(f"unknown fuzz target {target!r}")

@@ -12,8 +12,13 @@ from .dns_injector import DNSInjectorMiddlebox
 from .flowstate import (
     DEFAULT_FLOW_TIMEOUT,
     ESTABLISHED,
+    EVICTION_POLICIES,
+    FAIL_CLOSED,
+    FAIL_OPEN,
     FlowRecord,
     FlowTable,
+    OVERLOAD_POLICIES,
+    RESIDUAL_SCOPES,
     SYNACK_SEEN,
     SYN_SEEN,
 )
@@ -38,6 +43,9 @@ __all__ = [
     "DEFAULT_FLOW_TIMEOUT",
     "DNSInjectorMiddlebox",
     "ESTABLISHED",
+    "EVICTION_POLICIES",
+    "FAIL_CLOSED",
+    "FAIL_OPEN",
     "FORGED_RST_SEQ_OFFSET",
     "FlowRecord",
     "FlowTable",
@@ -45,7 +53,9 @@ __all__ = [
     "Middlebox",
     "NOTIFICATION_PROFILES",
     "NotificationProfile",
+    "OVERLOAD_POLICIES",
     "OVERT",
+    "RESIDUAL_SCOPES",
     "SYNACK_SEEN",
     "SYN_SEEN",
     "TriggerSpec",

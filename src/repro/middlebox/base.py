@@ -28,11 +28,27 @@ class Middlebox:
         flow_timeout: float = 150.0,
         source_prefixes: Optional[Sequence[Prefix]] = None,
         require_handshake: bool = True,
+        max_flows: Optional[int] = None,
+        eviction_policy: str = "lru",
+        overload_policy: str = "fail-open",
+        mapping_expiry: Optional[float] = None,
+        residual_window: float = 0.0,
+        residual_scope: str = "3-tuple",
+        session_seed: int = 0,
     ) -> None:
         self.name = name
         self.isp = isp
         self.spec = spec
-        self.flows = FlowTable(timeout=flow_timeout)
+        self.flows = FlowTable(
+            timeout=flow_timeout,
+            max_flows=max_flows,
+            eviction_policy=eviction_policy,
+            overload_policy=overload_policy,
+            eviction_seed=session_seed,
+            mapping_expiry=mapping_expiry,
+            residual_window=residual_window,
+            residual_scope=residual_scope,
+        )
         #: The Indian boxes inspect only handshake-complete flows
         #: (section 4.2.1).  False models a stateless packet matcher —
         #: used by the ablation benchmarks to show the statefulness
@@ -88,6 +104,57 @@ class Middlebox:
         if not self.require_handshake:
             return True
         return record is not None and record.state == "ESTABLISHED"
+
+    def session_events(self, packet: Packet, now: float, router) -> list:
+        """Drain and book-keep the flow table's capacity decisions.
+
+        Counts each eviction/overload/residual decision the table made
+        while observing *packet* and narrates it on the trace bus.
+        Returns the drained events so the subclass can react (reset the
+        refused client, drop the packet).  Costs one empty-list check
+        per packet when the session features are off.
+        """
+        events = self.flows.drain_events()
+        network = router.network if router is not None else None
+        trace = network.trace if network is not None else None
+        emit = trace is not None and trace.active
+        if emit:
+            from ..obs.trace import flow_id
+        for kind, detail in events:
+            if kind == "flow-evicted":
+                self.stats.evicted += 1
+            elif kind == "overload-fail-open":
+                self.stats.overload_fail_open += 1
+            elif kind == "overload-fail-closed":
+                self.stats.overload_fail_closed += 1
+            elif kind == "residual-block":
+                self.stats.residual_hits += 1
+            if emit:
+                fields = {"box": self.name, "isp": self.isp,
+                          "node": router.name, "flow": flow_id(packet)}
+                if kind == "flow-evicted":
+                    victim = detail["victim"]
+                    fields["policy"] = detail["policy"]
+                    fields["victim"] = (
+                        f"{victim.client_ip}:{victim.client_port}->"
+                        f"{victim.server_ip}:{victim.server_port}")
+                elif kind == "residual-block":
+                    fields["domain"] = detail["domain"]
+                trace.emit(kind, now, **fields)
+        return events
+
+    def note_truncation(self, packet: Packet, record, now: float,
+                        router) -> None:
+        """One flow's reassembly buffer just overflowed ``max_buffer``."""
+        self.stats.truncated_flows += 1
+        network = router.network if router is not None else None
+        trace = network.trace if network is not None else None
+        if trace is not None and trace.active:
+            from ..obs.trace import flow_id
+
+            trace.emit("truncated", now, box=self.name, isp=self.isp,
+                       node=router.name, flow=flow_id(packet),
+                       dropped=record.buffer_dropped)
 
     def __repr__(self) -> str:
         where = self.router.name if self.router is not None else "unattached"

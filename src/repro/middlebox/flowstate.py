@@ -11,12 +11,37 @@ The table keys flows by the client-side 4-tuple (the SYN sender is the
 client).  Establishment is recognised from the client-side packets
 alone (SYN, then the client's bare ACK), so a tap that happens to miss
 the server's SYN+ACK still tracks correctly.
+
+Real devices hold flow state in a *finite* table, and what happens at
+the boundary is an observable censorship property (see
+docs/SESSION_DYNAMICS.md):
+
+* ``max_flows`` caps the table.  When a new SYN arrives at a full
+  table, an :data:`EVICTION_POLICIES` policy may evict a victim to
+  make room; with eviction disabled (``"none"``) the
+  :data:`OVERLOAD_POLICIES` policy decides the new flow's fate —
+  ``fail-open`` leaves it untracked (it passes uninspected),
+  ``fail-closed`` refuses it (the owning middlebox resets it).
+* ``mapping_expiry`` is a NAT-style absolute per-flow lifetime,
+  measured from flow creation — distinct from the idle-activity
+  ``timeout`` the paper's section 6.3 probes bracket.
+* ``residual_window`` models Turkmenistan-style residual censorship
+  (Nourin et al.): after a censored verdict the flow's 3- or 4-tuple
+  stays blocked for the window, surviving RST teardown and fresh
+  handshakes.
+
+All of these default to the unbounded idealization the paper's
+experiments assume, so a default-constructed table behaves exactly as
+before.  Capacity/residual decisions are queued on :attr:`events` for
+the owning middlebox to drain (it has the router/trace context needed
+to react and narrate).
 """
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..netsim.packets import Packet, TCPFlags
 
@@ -27,6 +52,24 @@ DEFAULT_FLOW_TIMEOUT = 150.0
 SYN_SEEN = "SYN_SEEN"
 SYNACK_SEEN = "SYNACK_SEEN"
 ESTABLISHED = "ESTABLISHED"
+
+# Eviction policies for a full table (``"none"`` defers to overload).
+EVICT_NONE = "none"
+EVICT_LRU = "lru"
+EVICT_OLDEST_ESTABLISHED = "oldest-established"
+EVICT_RANDOM = "random"
+EVICTION_POLICIES = (EVICT_NONE, EVICT_LRU, EVICT_OLDEST_ESTABLISHED,
+                     EVICT_RANDOM)
+
+# Overload policies for a new flow refused admission.
+FAIL_OPEN = "fail-open"
+FAIL_CLOSED = "fail-closed"
+OVERLOAD_POLICIES = (FAIL_OPEN, FAIL_CLOSED)
+
+# Residual-censorship scopes: which tuple stays blocked after a verdict.
+RESIDUAL_3TUPLE = "3-tuple"
+RESIDUAL_4TUPLE = "4-tuple"
+RESIDUAL_SCOPES = (RESIDUAL_3TUPLE, RESIDUAL_4TUPLE)
 
 FlowKey = Tuple[str, int, str, int]  # client_ip, cport, server_ip, sport
 
@@ -43,11 +86,16 @@ class FlowRecord:
     client_isn: int = 0
     server_isn: Optional[int] = None
     last_activity: float = 0.0
+    created_at: float = 0.0
     established_at: Optional[float] = None
     censored: bool = False
     censored_domain: Optional[str] = None
     #: Interceptive boxes reassemble the client byte stream here.
     buffer: bytearray = field(default_factory=bytearray)
+    #: The reassembly buffer hit ``max_buffer`` and dropped bytes.
+    truncated: bool = False
+    #: How many payload bytes the cap dropped (0 unless truncated).
+    buffer_dropped: int = 0
 
     @property
     def key(self) -> FlowKey:
@@ -60,13 +108,58 @@ class FlowRecord:
 
 
 class FlowTable:
-    """Lazy-expiring table of tracked flows."""
+    """Bounded, policy-governed table of tracked flows.
+
+    Expiry is lazy on lookup *and* amortized-eager: roughly once per
+    ``timeout`` of observed traffic the whole table is swept, so a
+    flood of never-revisited flows (un-ACKed SYNs) cannot grow the
+    table without bound even when ``max_flows`` is unset.
+    """
 
     def __init__(self, timeout: float = DEFAULT_FLOW_TIMEOUT,
-                 max_buffer: int = 8192) -> None:
+                 max_buffer: int = 8192, *,
+                 max_flows: Optional[int] = None,
+                 eviction_policy: str = EVICT_LRU,
+                 overload_policy: str = FAIL_OPEN,
+                 eviction_seed: int = 0,
+                 mapping_expiry: Optional[float] = None,
+                 residual_window: float = 0.0,
+                 residual_scope: str = RESIDUAL_3TUPLE) -> None:
+        if eviction_policy not in EVICTION_POLICIES:
+            raise ValueError(f"unknown eviction policy: {eviction_policy!r}; "
+                             f"known: {EVICTION_POLICIES}")
+        if overload_policy not in OVERLOAD_POLICIES:
+            raise ValueError(f"unknown overload policy: {overload_policy!r}; "
+                             f"known: {OVERLOAD_POLICIES}")
+        if residual_scope not in RESIDUAL_SCOPES:
+            raise ValueError(f"unknown residual scope: {residual_scope!r}; "
+                             f"known: {RESIDUAL_SCOPES}")
         self.timeout = timeout
         self.max_buffer = max_buffer
+        self.max_flows = max_flows
+        self.eviction_policy = eviction_policy
+        self.overload_policy = overload_policy
+        self.mapping_expiry = mapping_expiry
+        self.residual_window = residual_window
+        self.residual_scope = residual_scope
         self.flows: Dict[FlowKey, FlowRecord] = {}
+        #: Residual-censorship entries: scope tuple -> (expiry, domain).
+        self.residual: Dict[tuple, Tuple[float, str]] = {}
+        #: Capacity/residual decisions queued for the owning middlebox:
+        #: ``(kind, detail)`` with kinds ``flow-evicted``,
+        #: ``overload-fail-open``, ``overload-fail-closed``,
+        #: ``residual-block``.  Only appended when the corresponding
+        #: feature is configured, and drained by the box per packet.
+        self.events: List[Tuple[str, dict]] = []
+        #: Occupancy high-water mark (for the metrics gauge).
+        self.high_water = 0
+        #: Flows whose reassembly buffer overflowed at least once.
+        self.truncated_flows = 0
+        #: Dedicated RNG for EVICT_RANDOM; never shared with the owning
+        #: box's reaction RNG so enabling eviction cannot perturb
+        #: miss-race draws.
+        self._evict_rng = random.Random(eviction_seed)
+        self._next_sweep = timeout
 
     def __len__(self) -> int:
         return len(self.flows)
@@ -75,11 +168,15 @@ class FlowTable:
         """Update state from one observed packet; return its flow.
 
         Returns None for non-TCP packets and for packets belonging to
-        no tracked flow (e.g. a GET with no preceding handshake).
+        no tracked flow (e.g. a GET with no preceding handshake), which
+        includes new flows refused admission by the overload policy.
         """
         if not packet.is_tcp:
             return None
         segment = packet.tcp
+        if now >= self._next_sweep:
+            self.purge_expired(now)
+            self._next_sweep = now + self.timeout
 
         record = self._lookup(packet, now)
 
@@ -89,12 +186,30 @@ class FlowTable:
             # any stale record in the opposite orientation is dropped.
             self.flows.pop((packet.dst, segment.dst_port,
                             packet.src, segment.src_port), None)
+            key: FlowKey = (packet.src, segment.src_port,
+                            packet.dst, segment.dst_port)
+            if (self.max_flows is not None and key not in self.flows
+                    and len(self.flows) >= self.max_flows
+                    and not self._make_room(now)):
+                if self.overload_policy == FAIL_OPEN:
+                    self.events.append(("overload-fail-open", {}))
+                else:
+                    self.events.append(("overload-fail-closed", {}))
+                return None
             record = FlowRecord(
                 client_ip=packet.src, client_port=segment.src_port,
                 server_ip=packet.dst, server_port=segment.dst_port,
-                client_isn=segment.seq, last_activity=now,
+                client_isn=segment.seq, last_activity=now, created_at=now,
             )
+            residual_domain = self._residual_lookup(record.key, now)
+            if residual_domain is not None:
+                record.censored = True
+                record.censored_domain = residual_domain
+                self.events.append(
+                    ("residual-block", {"domain": residual_domain}))
             self.flows[record.key] = record
+            if len(self.flows) > self.high_water:
+                self.high_water = len(self.flows)
             return record
 
         if record is None:
@@ -133,11 +248,103 @@ class FlowTable:
         record = self.flows.get(forward) or self.flows.get(reverse)
         if record is None:
             return None
-        if now - record.last_activity > self.timeout:
-            # Idle too long: state purged (section 6.3).
+        if self._expired(record, now):
+            # Idle too long (section 6.3) or NAT mapping lifetime over.
             self.flows.pop(record.key, None)
             return None
         return record
+
+    def _expired(self, record: FlowRecord, now: float) -> bool:
+        if now - record.last_activity > self.timeout:
+            return True
+        return (self.mapping_expiry is not None
+                and now - record.created_at > self.mapping_expiry)
+
+    # -- capacity ----------------------------------------------------------
+
+    def _make_room(self, now: float) -> bool:
+        """Evict one victim per policy; False leaves overload to decide."""
+        if self.eviction_policy == EVICT_NONE or not self.flows:
+            return False
+        victim = self._eviction_victim()
+        del self.flows[victim.key]
+        self.events.append(("flow-evicted", {
+            "victim": victim, "policy": self.eviction_policy}))
+        return True
+
+    def _eviction_victim(self) -> FlowRecord:
+        records = list(self.flows.values())
+        if self.eviction_policy == EVICT_RANDOM:
+            return records[self._evict_rng.randrange(len(records))]
+        if self.eviction_policy == EVICT_OLDEST_ESTABLISHED:
+            established = [r for r in records if r.established_at is not None]
+            if established:
+                return min(established, key=lambda r: r.established_at)
+        # LRU, and the oldest-established fallback when nothing is
+        # established yet.  min() keeps the first minimum, so ties
+        # resolve by insertion order — deterministic.
+        return min(records, key=lambda r: r.last_activity)
+
+    # -- residual censorship -----------------------------------------------
+
+    def _residual_key(self, key: FlowKey) -> tuple:
+        if self.residual_scope == RESIDUAL_4TUPLE:
+            return key
+        client_ip, _client_port, server_ip, server_port = key
+        return (client_ip, server_ip, server_port)
+
+    def _residual_lookup(self, key: FlowKey, now: float) -> Optional[str]:
+        if not self.residual:
+            return None
+        scoped = self._residual_key(key)
+        entry = self.residual.get(scoped)
+        if entry is None:
+            return None
+        expiry, domain = entry
+        if now > expiry:
+            del self.residual[scoped]
+            return None
+        return domain
+
+    def mark_censored(self, record: FlowRecord, domain: str,
+                      now: float) -> None:
+        """Record a censored verdict (and arm the residual window)."""
+        record.censored = True
+        record.censored_domain = domain
+        if self.residual_window > 0.0:
+            self.residual[self._residual_key(record.key)] = (
+                now + self.residual_window, domain)
+
+    # -- reassembly buffer --------------------------------------------------
+
+    def append_payload(self, record: FlowRecord, payload: bytes) -> bool:
+        """Append client payload to the flow's reassembly buffer.
+
+        The ``max_buffer`` cap is enforced here (not at call sites):
+        once the buffer has reached the cap, further payloads are
+        dropped whole and the record is marked :attr:`~FlowRecord.
+        truncated`.  Returns True exactly once per flow — on the append
+        that first overflows — so the caller can emit one ``truncated``
+        trace event.
+        """
+        if len(record.buffer) < self.max_buffer:
+            record.buffer.extend(payload)
+            return False
+        if not payload:
+            return False
+        record.buffer_dropped += len(payload)
+        if record.truncated:
+            return False
+        record.truncated = True
+        self.truncated_flows += 1
+        return True
+
+    # -- bookkeeping --------------------------------------------------------
+
+    def drain_events(self) -> List[Tuple[str, dict]]:
+        """Hand the queued capacity/residual decisions to the caller."""
+        events, self.events = self.events, []
+        return events
 
     def established(self, packet: Packet, now: float) -> Optional[FlowRecord]:
         """The flow for *packet* if (and only if) it is established."""
@@ -147,9 +354,20 @@ class FlowTable:
         return None
 
     def purge_expired(self, now: float) -> int:
-        """Eagerly drop idle flows; returns how many were purged."""
+        """Eagerly drop idle/expired flows; returns how many were purged.
+
+        Also sweeps expired residual-censorship entries, so neither map
+        can grow without bound.  Called opportunistically from
+        :meth:`observe` (amortized once per ``timeout``) and usable
+        directly by tests and long-running drivers.
+        """
         expired = [key for key, record in self.flows.items()
-                   if now - record.last_activity > self.timeout]
+                   if self._expired(record, now)]
         for key in expired:
             del self.flows[key]
+        if self.residual:
+            stale = [key for key, (expiry, _domain) in self.residual.items()
+                     if now > expiry]
+            for key in stale:
+                del self.residual[key]
         return len(expired)

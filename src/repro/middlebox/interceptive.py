@@ -68,6 +68,7 @@ class InterceptiveMiddlebox(Middlebox):
         flow_timeout: float = 150.0,
         source_prefixes: Optional[Sequence[Prefix]] = None,
         require_handshake: bool = True,
+        **session_kwargs,
     ) -> None:
         if mode not in (OVERT, COVERT):
             raise ValueError(f"unknown IM mode: {mode}")
@@ -75,7 +76,8 @@ class InterceptiveMiddlebox(Middlebox):
             raise ValueError("overt interceptive middlebox needs a notification")
         super().__init__(name, isp, spec, flow_timeout=flow_timeout,
                          source_prefixes=source_prefixes,
-                         require_handshake=require_handshake)
+                         require_handshake=require_handshake,
+                         **session_kwargs)
         self.mode = mode
         self.notification = notification
 
@@ -88,6 +90,12 @@ class InterceptiveMiddlebox(Middlebox):
         if self.fault_blind(router.network):
             return FORWARD
         record = self.flows.observe(packet, now)
+        if self.flows.events:
+            for kind, _detail in self.session_events(packet, now, router):
+                if kind == "overload-fail-closed":
+                    # In-path refusal: reset the client, eat the SYN.
+                    self._refuse_flow(packet, router)
+                    return DROP
 
         if record is not None and record.censored:
             if record.is_from_client(packet):
@@ -107,11 +115,13 @@ class InterceptiveMiddlebox(Middlebox):
             self.stats.out_of_scope += 1
             return FORWARD
 
-        # Proxy-style reassembly of the client stream.
+        # Proxy-style reassembly of the client stream.  The buffer cap
+        # is the flow table's to enforce; the box only narrates the
+        # first overflow.
         segment = packet.tcp
         if record is not None:
-            if len(record.buffer) < self.flows.max_buffer:
-                record.buffer.extend(segment.payload)
+            if self.flows.append_payload(record, segment.payload):
+                self.note_truncation(packet, record, now, router)
             inspectable = bytes(record.buffer)
         else:
             inspectable = segment.payload
@@ -122,8 +132,7 @@ class InterceptiveMiddlebox(Middlebox):
         self.stats.record_trigger(domain)
         self.trigger_log.append((now, domain, packet.src, packet.dst))
         if record is not None:
-            record.censored = True
-            record.censored_domain = domain
+            self.flows.mark_censored(record, domain, now)
         network = router.network
         trace = network.trace if network is not None else None
         if trace is not None and trace.active:
@@ -137,6 +146,26 @@ class InterceptiveMiddlebox(Middlebox):
         return CONSUMED
 
     # -- forged packets --------------------------------------------------------
+
+    def _refuse_flow(self, request: Packet, router: "Router") -> None:
+        """Fail-closed overload: reset the refused client's connection.
+
+        The consumed SYN never reaches the server, so the reset is the
+        only answer the client sees — a connection refused at the box.
+        """
+        segment = request.tcp
+        network = router.network
+        assert network is not None
+        advance = len(segment.payload)
+        if segment.has(TCPFlags.SYN) or segment.has(TCPFlags.FIN):
+            advance += 1
+        reset = make_tcp_packet(
+            request.dst, request.src,
+            segment.dst_port, segment.src_port,
+            seq=segment.ack, ack=segment.seq + advance,
+            flags=TCPFlags.RST | TCPFlags.ACK,
+        )
+        network.call_later(IM_REACTION, network.inject_at, router, reset)
 
     def _respond_to_client(self, request: Packet, domain: str,
                            router: "Router") -> None:

@@ -120,6 +120,16 @@ class TriggerStats:
     dropped_post_censor: int = 0
     #: Packets the fault layer made the box skip entirely.
     fault_blind: int = 0
+    #: Session-table pressure: flows evicted to admit new ones.
+    evicted: int = 0
+    #: New flows left untracked (uninspected) at a full table.
+    overload_fail_open: int = 0
+    #: New flows refused (reset) at a full table.
+    overload_fail_closed: int = 0
+    #: Fresh flows blocked by a lingering residual-censorship entry.
+    residual_hits: int = 0
+    #: Flows whose reassembly buffer overflowed ``max_buffer``.
+    truncated_flows: int = 0
     by_domain: dict = field(default_factory=dict)
 
     def record_trigger(self, domain: str) -> None:

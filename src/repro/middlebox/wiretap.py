@@ -62,10 +62,12 @@ class WiretapMiddlebox(Middlebox):
         flow_timeout: float = 150.0,
         source_prefixes: Optional[Sequence[Prefix]] = None,
         require_handshake: bool = True,
+        **session_kwargs,
     ) -> None:
         super().__init__(name, isp, spec, flow_timeout=flow_timeout,
                          source_prefixes=source_prefixes,
-                         require_handshake=require_handshake)
+                         require_handshake=require_handshake,
+                         **session_kwargs)
         self.notification = notification
         self.miss_rate = miss_rate
         self.fixed_ip_id = fixed_ip_id
@@ -80,6 +82,12 @@ class WiretapMiddlebox(Middlebox):
         if self.fault_blind(router.network):
             return
         record = self.flows.observe(packet, now)
+        if self.flows.events:
+            for kind, _detail in self.session_events(packet, now, router):
+                if kind in ("overload-fail-closed", "residual-block"):
+                    # The box cannot drop (it has a copy): it kills the
+                    # refused/residually-blocked flow with a forged RST.
+                    self._refuse_flow(packet, router)
         if not self.is_client_to_server_http(packet):
             return
         self.stats.inspected += 1
@@ -97,8 +105,7 @@ class WiretapMiddlebox(Middlebox):
         self.stats.record_trigger(domain)
         self.trigger_log.append((now, domain, packet.src, packet.dst))
         if record is not None:
-            record.censored = True
-            record.censored_domain = domain
+            self.flows.mark_censored(record, domain, now)
 
         lost_race = self._rng.random() < self.miss_rate
         network = router.network
@@ -117,6 +124,30 @@ class WiretapMiddlebox(Middlebox):
         self._inject_censorship(packet, domain, router, reaction)
 
     # -- forged packet construction -----------------------------------------
+
+    def _refuse_flow(self, request: Packet, router: "Router") -> None:
+        """Forged connection-refused RST toward the client.
+
+        Used when the session table refuses a new flow (fail-closed
+        overload) or a residual-censorship entry blocks it at the SYN.
+        The ack field mirrors what a refusing server would send
+        (``seq + payload``, plus one for the SYN), which is what the
+        client stack requires to accept a reset in SYN_SENT.
+        """
+        segment = request.tcp
+        network = router.network
+        assert network is not None
+        advance = len(segment.payload)
+        if segment.has(TCPFlags.SYN) or segment.has(TCPFlags.FIN):
+            advance += 1
+        reset = make_tcp_packet(
+            request.dst, request.src,            # forged: from the server
+            segment.dst_port, segment.src_port,
+            seq=segment.ack, ack=segment.seq + advance,
+            flags=TCPFlags.RST | TCPFlags.ACK,
+            ip_id=self.fixed_ip_id,
+        )
+        network.call_later(FAST_REACTION, network.inject_at, router, reset)
 
     def _inject_censorship(self, request: Packet, domain: str,
                            router: "Router", reaction: float) -> None:

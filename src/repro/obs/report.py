@@ -167,6 +167,7 @@ def _deterministic_half(run: Dict) -> Dict:
         "units": by_experiment,
         "quarantined": quarantined,
         "coverage": _coverage_deltas(run),
+        "session": _session_table(run),
         "drops": _drops(deterministic_metrics),
         "faults": _fault_summary(meta, deterministic_metrics),
         "trace": _trace_summary(run["trace_lines"]),
@@ -216,6 +217,7 @@ def _wall_half(run: Dict) -> Dict:
         "total_wall_seconds": total_wall,
         "slowest_units": slowest,
         "metrics": metrics.get("wall") or {},
+        "session_counters": _session_counter_totals(run),
         "supervision": dict(sorted(supervision.items())),
         "sidecar_notes": _sidecar_notes(
             run, ("timings", "supervision")),
@@ -260,6 +262,71 @@ def _coverage_deltas(run: Dict) -> List[Dict]:
                     measured_out - expected_out, 1)
             deltas.append(entry)
     return deltas
+
+
+def _session_table(run: Dict) -> List[Dict]:
+    """Per-ISP session-table parameters the probers recovered.
+
+    Session-dynamics unit payload rows are ``[isp, mechanism,
+    idle timeout, capacity, overload, residual]`` with ``-`` for
+    anything a prober could not observe.  Pre-session run directories
+    simply have no such units, so this renders empty for them.
+    """
+    table = []
+    for (experiment, unit), rec in sorted(run["units"].items()):
+        if experiment != "session-dynamics" or rec.get("status") not in (
+                "ok", "degraded"):
+            continue
+        payload = rec.get("payload") or {}
+        for row in payload.get("rows", ()):
+            if len(row) < 6:
+                continue
+            table.append({
+                "isp": row[0],
+                "mechanism": row[1],
+                "recovered_timeout": _as_float(row[2]),
+                "capacity": _as_float(row[3]),
+                "overload": row[4] if row[4] != "-" else None,
+                "residual_window": _as_float(row[5]),
+            })
+    return table
+
+
+#: Session-table metric prefixes folded into the wall counters, and
+#: the short name each reports under.
+_SESSION_METRIC_PREFIXES = (
+    ("middlebox_flow_evictions_total{", "evicted"),
+    ("middlebox_overload_total{", "overload"),
+    ("middlebox_residual_hits_total{", "residual_hits"),
+    ("middlebox_truncated_flows_total{", "truncated_flows"),
+)
+
+
+def _session_counter_totals(run: Dict) -> Dict[str, int]:
+    """Session-table activity: unit payload counters + world metrics.
+
+    Scenario-box activity travels in the session-dynamics units'
+    ``session_counters`` payload key; main-world activity (a profile
+    configured with a bounded table) lands in the metrics sidecar's
+    counters.  Empty for pre-session run directories — the key renders
+    only when something actually happened.
+    """
+    totals: Dict[str, int] = {}
+    for (experiment, _unit), rec in sorted(run["units"].items()):
+        if experiment != "session-dynamics" or rec.get("status") not in (
+                "ok", "degraded"):
+            continue
+        payload = rec.get("payload") or {}
+        for name, value in (payload.get("session_counters") or {}).items():
+            totals[name] = totals.get(name, 0) + int(value)
+    metrics = run["metrics"] or {}
+    for half in ("deterministic", "wall"):
+        counters = (metrics.get(half) or {}).get("counters") or {}
+        for key, value in counters.items():
+            for prefix, name in _SESSION_METRIC_PREFIXES:
+                if key.startswith(prefix):
+                    totals[name] = totals.get(name, 0) + value
+    return dict(sorted(totals.items()))
 
 
 def _as_float(cell) -> Optional[float]:
@@ -376,6 +443,24 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
                 f"{row['type']} ({row['paper_type']}) |")
         lines.append("")
 
+    session = det.get("session") or ()
+    if session:
+        lines += [
+            "## Session dynamics (recovered, not read from config)",
+            "",
+            "| ISP | mechanism | idle timeout (s) | capacity | overload "
+            "| residual (s) |",
+            "|---|---|---|---|---|---|",
+        ]
+        for row in session:
+            lines.append(
+                f"| {row['isp']} | {row['mechanism']} | "
+                f"{_fmt_opt(row['recovered_timeout'])} | "
+                f"{_fmt_opt(row['capacity'])} | "
+                f"{row['overload'] or '-'} | "
+                f"{_fmt_opt(row['residual_window'])} |")
+        lines.append("")
+
     drops = det["drops"]
     if drops:
         lines += ["## Drops by reason", ""]
@@ -410,6 +495,11 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
     eps = gauges.get("campaign_events_per_second")
     if eps is not None:
         lines.append(f"- simulated events/second: {eps}")
+    session_counters = wall.get("session_counters") or {}
+    if session_counters:
+        lines.append("- session-table events: " + ", ".join(
+            f"{name}: {count}"
+            for name, count in session_counters.items()))
     supervision = wall.get("supervision") or {}
     if supervision:
         lines.append("- supervision events: " + ", ".join(
@@ -428,6 +518,12 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
 
 def _fmt_delta(delta: Optional[float]) -> str:
     return f"{delta:+}" if delta is not None else "-"
+
+
+def _fmt_opt(value: Optional[float]) -> str:
+    if value is None:
+        return "-"
+    return str(int(value)) if value == int(value) else str(value)
 
 
 def write_report(run_dir: str) -> Tuple[str, str]:

@@ -26,8 +26,22 @@ kind                emitted by / meaning
 ``retry``           a hardened client retried after silence
 ``probe``           one express (path-walk) probe verdict
 ``unit-start``      campaign bookkeeping: a measurement unit began
-``truncated``       the per-unit event cap was hit; ``dropped`` counts
-                    the events not recorded
+``truncated``       something bounded overflowed; ``dropped`` counts
+                    what was not kept.  Emitted by
+                    :class:`BufferSink` when the per-unit event cap is
+                    hit (``dropped`` = events), and by an interceptive
+                    middlebox when a flow's reassembly buffer hits
+                    ``max_buffer`` (``box``/``flow`` set, ``dropped``
+                    = payload bytes)
+``flow-evicted``    a full session table evicted ``victim`` to admit a
+                    new flow (``policy`` names the eviction policy)
+``overload-fail-open``   a full session table left a new flow
+                    untracked — it passes uninspected
+``overload-fail-closed`` a full session table refused a new flow —
+                    the box resets it
+``residual-block``  a fresh flow hit a residual-censorship entry
+                    (``domain`` is the original verdict) and is
+                    blocked despite its new handshake
 ==================  =====================================================
 
 The campaign supervisor (:mod:`repro.runner.supervise`) reuses this

@@ -1,0 +1,123 @@
+"""The ``session`` fuzz target: differential replay of op schedules
+against a bounded middlebox vs the unbounded reference."""
+
+from repro.fuzz import (
+    decode_entry,
+    derive_rng,
+    encode_entry,
+    mutate_session,
+    run_session_schedule,
+    seed_corpus,
+)
+from repro.fuzz.corpus import (
+    SESSION_FLOW_SLOTS,
+    SESSION_MAX_FLOWS,
+    SESSION_MAX_OPS,
+    session_seed_corpus,
+)
+from repro.fuzz.minimize import minimize_session
+
+
+class TestSeeds:
+    def test_every_seed_is_violation_free(self):
+        for entry in session_seed_corpus():
+            result = run_session_schedule(entry)
+            assert result.violations == [], entry
+
+    def test_seeds_exercise_every_known_class(self):
+        classes = set()
+        for entry in session_seed_corpus():
+            classes.update(run_session_schedule(entry).classes)
+        assert {"eviction-flush", "overload-fail-open",
+                "overload-fail-closed", "residual-block"} <= classes
+
+    def test_fail_closed_seed_refuses_third_open(self):
+        entry = session_seed_corpus()[1]
+        result = run_session_schedule(entry)
+        assert result.classes.get("overload-fail-closed", 0) >= 1
+
+    def test_plain_censorship_seed_notes_nothing(self):
+        entry = session_seed_corpus()[0]
+        result = run_session_schedule(entry)
+        assert result.classes == {}
+
+
+class TestCorpusPlumbing:
+    def test_encode_decode_roundtrip(self):
+        for entry in session_seed_corpus():
+            encoded = encode_entry("session", entry)
+            assert decode_entry("session", encoded) == entry
+
+    def test_decoded_ops_are_fresh_lists(self):
+        entry = session_seed_corpus()[0]
+        decoded = decode_entry("session", encode_entry("session", entry))
+        decoded["ops"][0][0] = "mutilated"
+        assert entry["ops"][0][0] == "open"
+
+    def test_seed_corpus_dispatch(self):
+        assert seed_corpus("session") == session_seed_corpus()
+
+
+class TestMutator:
+    def test_deterministic_for_same_rng_seed(self):
+        corpus = session_seed_corpus()
+        first = mutate_session(derive_rng(7, "session", 3), corpus)
+        second = mutate_session(derive_rng(7, "session", 3), corpus)
+        assert first == second
+
+    def test_mutants_stay_within_bounds(self):
+        corpus = session_seed_corpus()
+        for iteration in range(60):
+            rng = derive_rng(11, "session", iteration)
+            entry = mutate_session(rng, corpus)
+            assert 1 <= entry["max_flows"] <= SESSION_MAX_FLOWS
+            assert len(entry["ops"]) <= SESSION_MAX_OPS
+            for op in entry["ops"]:
+                if op[0] in ("open", "close"):
+                    assert 0 <= op[1] < SESSION_FLOW_SLOTS
+
+    def test_mutation_does_not_alias_corpus_ops(self):
+        corpus = session_seed_corpus()
+        snapshots = [[list(op) for op in entry["ops"]] for entry in corpus]
+        for iteration in range(40):
+            mutate_session(derive_rng(3, "session", iteration), corpus)
+        assert snapshots == [[list(op) for op in entry["ops"]]
+                             for entry in corpus]
+
+
+class TestCampaignDeterminism:
+    def test_mutated_run_is_replayable(self):
+        corpus = session_seed_corpus()
+
+        def campaign():
+            outcomes = []
+            for iteration in range(25):
+                rng = derive_rng(5, "session", iteration)
+                entry = mutate_session(rng, corpus)
+                result = run_session_schedule(entry)
+                outcomes.append((sorted(result.classes.items()),
+                                 sorted(result.violations)))
+            return outcomes
+
+        assert campaign() == campaign()
+
+
+class TestMinimize:
+    def test_shrinks_ops_and_keeps_predicate_true(self):
+        entry = session_seed_corpus()[1]  # fail-closed, 4 ops
+
+        def predicate(candidate):
+            result = run_session_schedule(candidate)
+            return result.classes.get("overload-fail-closed", 0) >= 1
+
+        smaller = minimize_session(entry, predicate)
+        assert predicate(smaller)
+        assert len(smaller["ops"]) <= len(entry["ops"])
+        # The refused third open needs a full table first: minimization
+        # cannot go below max_flows+1 handshakes.
+        assert len(smaller["ops"]) == entry["max_flows"] + 1
+
+    def test_non_failing_entry_returned_unchanged(self):
+        entry = session_seed_corpus()[0]
+        untouched = minimize_session(entry, lambda _candidate: False)
+        assert untouched == entry
