@@ -50,6 +50,59 @@ def test_packet_level_fetch_throughput(benchmark, perf_world):
     assert ok == len(targets)
 
 
+def test_slot_scheduler_fetch(benchmark, perf_world):
+    """Fetch throughput pinned to the slotted calendar queue.
+
+    Same shape as the main fetch bench but over a different site slice
+    and explicitly asserting the scheduler, so the baseline tracks the
+    calendar queue itself (the main fetch case follows whatever the
+    session default is)."""
+    world = perf_world
+    network = world.network
+    network.set_scheduler("slots")
+    assert network.scheduler == "slots"
+    client = world.client_of("mtnl")
+    blocked = world.blocklists.all_blocked_domains()
+    sites = [s for s in world.corpus
+             if s.domain not in blocked and s.hosting == "normal"
+             and not s.https][20:30]
+    targets = [(world.hosting.ip_for(s.domain, "in"), s.domain)
+               for s in sites]
+
+    def fetch_batch():
+        ok = 0
+        for ip, domain in targets:
+            result = fetch_url(world.network, client, ip, domain)
+            ok += bool(result.ok)
+        return ok
+
+    ok = benchmark.pedantic(fetch_batch, rounds=5, iterations=1)
+    assert ok == len(targets)
+
+
+def test_packet_pool_express(benchmark):
+    """Acquire/release cycle time of the packet pool's free list.
+
+    A microbench of the pool itself: after warm-up every acquire is a
+    reuse, so this tracks the header-reset cost that replaces a full
+    packet construction on the hot path."""
+    from repro.netsim.packets import PacketPool, TCPFlags
+
+    pool = PacketPool()
+    payload = b"GET / HTTP/1.1\r\nHost: example.in\r\n\r\n"
+
+    def churn():
+        for _ in range(2000):
+            packet = pool.acquire_tcp("10.0.0.1", "10.0.0.2", 40000, 80,
+                                      seq=1, flags=TCPFlags.PSH,
+                                      payload=payload)
+            pool.release(packet)
+        return pool.reused
+
+    reused = benchmark.pedantic(churn, rounds=5, iterations=1)
+    assert reused >= 1999  # everything past the first acquire recycles
+
+
 def test_express_http_probe_throughput(benchmark, perf_world):
     world = perf_world
     client = world.client_of("idea")
@@ -128,6 +181,68 @@ def test_fib_speedup_express_probe(perf_world):
     assert speedup >= 2.0, (
         f"FIB fast path only {speedup:.2f}x over the seed routing "
         f"(cached {fast[0] * 1e3:.1f} ms vs uncached "
+        f"{slow[0] * 1e3:.1f} ms)")
+
+
+def test_event_core_speedup_fetch(perf_world):
+    """Acceptance check: the batched event core buys >=1.5x on fetches.
+
+    The same batch as the fetch throughput bench, timed once with the
+    event-core defaults (calendar queue, packet pool, delivery plans,
+    content memo) and once with every one of their escape hatches
+    pulled — ``scheduler="heap"``, ``packet_pooling_enabled = False``,
+    ``delivery_plans_enabled = False``, content cache off — while the
+    routing caches stay ON, so the ratio isolates this subsystem from
+    the FIB's (which has its own gate above).  Measured ~1.9x locally;
+    the gate sits at 1.5x to absorb shared-runner jitter (the full
+    >=2x-versus-seed gate runs in CI via ``perf_trajectory check``,
+    where the baseline predates the FIB too).
+    """
+    from repro.websites.content import set_content_cache
+
+    world = perf_world
+    network = world.network
+    client = world.client_of("nkn")
+    blocked = world.blocklists.all_blocked_domains()
+    sites = [s for s in world.corpus
+             if s.domain not in blocked and s.hosting == "normal"
+             and not s.https][:20]
+    targets = [(world.hosting.ip_for(s.domain, "in"), s.domain)
+               for s in sites]
+
+    def fetch_batch():
+        ok = 0
+        for ip, domain in targets:
+            result = fetch_url(network, client, ip, domain)
+            ok += bool(result.ok)
+        return ok
+
+    def timed():
+        start = time.perf_counter()
+        ok = fetch_batch()
+        return time.perf_counter() - start, ok
+
+    fetch_batch()  # warm the FIB and plan caches
+    network.set_scheduler("slots")
+    fast = min(timed() for _ in range(3))
+    assert network.routing_cache_enabled
+    try:
+        network.set_scheduler("heap")
+        network.packet_pooling_enabled = False
+        network.delivery_plans_enabled = False
+        set_content_cache(False)
+        slow = min(timed() for _ in range(2))
+    finally:  # perf_world is shared
+        network.set_scheduler("slots")
+        network.packet_pooling_enabled = True
+        network.delivery_plans_enabled = True
+        set_content_cache(True)
+    assert fast[1] == slow[1] == len(targets), \
+        "event core changed fetch outcomes"
+    speedup = slow[0] / fast[0]
+    assert speedup >= 1.5, (
+        f"batched event core only {speedup:.2f}x over the seed core "
+        f"(defaults {fast[0] * 1e3:.1f} ms vs escape hatches "
         f"{slow[0] * 1e3:.1f} ms)")
 
 

@@ -19,6 +19,16 @@ Usage::
     # compare a fresh measurement against the committed baseline
     python benchmarks/perf_trajectory.py check bench-raw.json \
         BENCH_simulator.json
+
+    # additionally require a case to have kept a speedup over the
+    # *previous* baseline (stored by record as "previous_cases")
+    python benchmarks/perf_trajectory.py check bench-raw.json \
+        BENCH_simulator.json \
+        --min-speedup test_packet_level_fetch_throughput:2.0
+
+Refreshing a baseline with ``record`` keeps the cases it replaced
+under ``previous_cases``, so a perf-optimisation PR can both move the
+baseline forward *and* gate CI on the speedup it claimed.
 """
 
 from __future__ import annotations
@@ -56,6 +66,12 @@ def record(args: argparse.Namespace) -> int:
         "bench_file": "benchmarks/bench_simulator_performance.py",
         "cases": {name: cases[name] for name in sorted(cases)},
     }
+    if os.path.exists(args.baseline):
+        # Keep the numbers being replaced: `check --min-speedup` gates
+        # against them, so a refreshed baseline still proves the
+        # improvement that justified refreshing it.
+        with open(args.baseline, "r", encoding="utf-8") as fh:
+            payload["previous_cases"] = json.load(fh)["cases"]
     # A machine with no baseline yet may also lack the directory the
     # baseline should live in (fresh checkout, scratch dir): create it
     # rather than failing — `record` exists precisely to bootstrap.
@@ -72,6 +88,22 @@ def record(args: argparse.Namespace) -> int:
     return 0
 
 
+def parse_min_speedup(specs) -> dict:
+    """{case: factor} from repeated ``CASE:FACTOR`` arguments."""
+    gates = {}
+    for spec in specs or ():
+        case, sep, factor = spec.rpartition(":")
+        if not sep or not case:
+            raise SystemExit(
+                f"--min-speedup {spec!r}: expected CASE:FACTOR")
+        try:
+            gates[case] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--min-speedup {spec!r}: {factor!r} is not a number")
+    return gates
+
+
 def check(args: argparse.Namespace) -> int:
     current = load_cases(args.raw)
     if not os.path.exists(args.baseline):
@@ -80,7 +112,10 @@ def check(args: argparse.Namespace) -> int:
             f"first with:\n  python benchmarks/perf_trajectory.py record "
             f"{args.raw} {args.baseline}")
     with open(args.baseline, "r", encoding="utf-8") as fh:
-        baseline = json.load(fh)["cases"]
+        payload = json.load(fh)
+    baseline = payload["cases"]
+    previous = payload.get("previous_cases", {})
+    gates = parse_min_speedup(getattr(args, "min_speedup", None))
     failures = []
     for name in sorted(set(baseline) | set(current)):
         if name not in baseline:
@@ -90,20 +125,41 @@ def check(args: argparse.Namespace) -> int:
             print(f"  MISSING  {name} (in baseline, not measured)")
             continue
         ratio = current[name] / baseline[name]
+        delta = (ratio - 1.0) * 100.0
         verdict = "ok"
         if ratio > args.max_regression:
             verdict = "REGRESSED"
             failures.append((name, ratio))
         print(f"  {verdict:9s}{name}: {current[name] / 1e6:.2f} ms/op "
-              f"({ratio:.2f}x baseline)")
+              f"({ratio:.2f}x baseline, {delta:+.1f}%)")
+    for name in sorted(gates):
+        factor = gates[name]
+        if name not in previous:
+            raise SystemExit(
+                f"--min-speedup {name}: baseline has no previous_cases "
+                f"entry for it (refresh with `record` over an existing "
+                f"baseline first)")
+        if name not in current:
+            raise SystemExit(
+                f"--min-speedup {name}: case was not measured")
+        speedup = previous[name] / current[name]
+        if speedup < factor:
+            failures.append((name, speedup))
+            print(f"  TOO-SLOW {name}: {speedup:.2f}x over the previous "
+                  f"baseline (gate {factor:.2f}x)")
+        else:
+            print(f"  speedup  {name}: {speedup:.2f}x over the previous "
+                  f"baseline (gate {factor:.2f}x)")
     if failures:
         worst = max(failures, key=lambda item: item[1])
-        print(f"FAIL: {len(failures)} case(s) slower than "
-              f"{args.max_regression:.1f}x baseline "
-              f"(worst: {worst[0]} at {worst[1]:.2f}x)")
+        print(f"FAIL: {len(failures)} case(s) outside the gates "
+              f"(max regression {args.max_regression:.1f}x"
+              + (f", min speedups {sorted(gates.items())}" if gates else "")
+              + f"; worst: {worst[0]} at {worst[1]:.2f}x)")
         return 1
     print(f"all {len(current)} case(s) within "
-          f"{args.max_regression:.1f}x of baseline")
+          f"{args.max_regression:.1f}x of baseline"
+          + (f" and past {len(gates)} speedup gate(s)" if gates else ""))
     return 0
 
 
@@ -127,6 +183,11 @@ def main(argv=None) -> int:
                          default=DEFAULT_MAX_REGRESSION,
                          help="failure threshold as current/baseline "
                               "ratio (default %(default)s)")
+    p_check.add_argument("--min-speedup", action="append",
+                         metavar="CASE:FACTOR",
+                         help="require CASE to run FACTORx faster than "
+                              "the baseline's previous_cases entry; "
+                              "repeatable")
     p_check.set_defaults(fn=check)
 
     args = parser.parse_args(argv)

@@ -106,6 +106,108 @@ def _walk_middleboxes(network: Network, client: Host, dst_ip: str,
     return found
 
 
+# ---------------------------------------------------------------------------
+# Precompiled delivery plans
+# ---------------------------------------------------------------------------
+
+#: Per-network memo of compiled delivery plans, generation-stamped like
+#: :data:`_BOX_CACHE` and weakly keyed so discarded worlds release it.
+#: Keys inside the per-network dict: ``(client, dst_ip, client_ip,
+#: dst_port)`` for HTTP plans and ``("dns", client, resolver_ip)`` for
+#: DNS plans.
+_PLAN_CACHE: "weakref.WeakKeyDictionary[Network, Tuple[int, Dict]]" = \
+    weakref.WeakKeyDictionary()
+
+#: DNS-plan sentinel for unroutable resolvers (a miss we also memoize).
+_UNROUTABLE = ("unroutable", ())
+
+
+def plans_enabled(network: Network) -> bool:
+    """Express probes compile plans only when both cache layers are on.
+
+    ``routing_cache_enabled = False`` is the verbatim-seed escape hatch
+    and must bypass every memo; ``delivery_plans_enabled = False``
+    turns off just the compiled plans while keeping PR 4's FIB/path
+    caches (useful for isolating a suspected plan bug).
+    """
+    return network.routing_cache_enabled and network.delivery_plans_enabled
+
+
+def _plan_slot(network: Network) -> Dict:
+    generation = network.topology_generation
+    entry = _PLAN_CACHE.get(network)
+    if entry is None or entry[0] != generation:
+        entry = (generation, {})
+        _PLAN_CACHE[network] = entry
+    return entry[1]
+
+
+def _http_plan(network: Network, client: Host, dst_ip: str,
+               client_ip: str, dst_port: int) -> tuple:
+    """Compiled HTTP probe plan: ``(hop, box, matcher, blocklist)``.
+
+    The per-box port and scope gates run once at compile time
+    (:meth:`Middlebox.express_profile`); probing a payload is then one
+    bound-method call per surviving box.  Boxes without a profile hook
+    or a trigger spec (e.g. the DNS injector) compile to nothing, same
+    as the seed loop's ``spec is None`` skip.
+    """
+    plans = _plan_slot(network)
+    key = (client.name, dst_ip, client_ip, dst_port)
+    plan = plans.get(key)
+    if plan is not None:
+        network.express_plan_hits += 1
+        return plan
+    network.express_plan_builds += 1
+    compiled = []
+    for hop, box in middleboxes_along(network, client, dst_ip, client_ip):
+        profile = getattr(box, "express_profile", None)
+        if profile is not None:
+            view = profile(client_ip, dst_port)
+            if view is not None:
+                compiled.append((hop, box, view[0], view[1]))
+            continue
+        spec = getattr(box, "spec", None)
+        if (spec is not None and spec.inspects_port(dst_port)
+                and box.in_scope(client_ip)):
+            compiled.append((hop, box, spec.matched_domain, spec.blocklist))
+    plan = tuple(compiled)
+    plans[key] = plan
+    return plan
+
+
+def _dns_plan(network: Network, client: Host, resolver_ip: str) -> tuple:
+    """Compiled DNS probe plan: ``(kind, injectors)``.
+
+    ``injectors`` is the path's DNS injector boxes in traversal order.
+    The resolver-service lookup and its config checks (open_to_world,
+    client_filter) stay per-call — services can be bound and operators
+    flip those at runtime, neither of which moves the topology
+    generation.
+    """
+    plans = _plan_slot(network)
+    key = ("dns", client.name, resolver_ip)
+    plan = plans.get(key)
+    if plan is not None:
+        network.express_plan_hits += 1
+        return plan
+    network.express_plan_builds += 1
+    try:
+        path = network.path_to(client, resolver_ip)
+    except RoutingError:
+        plan = _UNROUTABLE
+    else:
+        injectors = tuple(
+            node.inline_middlebox
+            for node in path[1:-1]
+            if isinstance(node, Router)
+            and isinstance(node.inline_middlebox, DNSInjectorMiddlebox)
+        )
+        plan = ("ok", injectors)
+    plans[key] = plan
+    return plan
+
+
 def express_http_probe(
     network: Network,
     client: Host,
@@ -118,17 +220,26 @@ def express_http_probe(
     """Would this request payload be censored en route?"""
     client_ip = client_ip or client.ip
     verdict = NOT_CENSORED
-    for hop, box in middleboxes_along(network, client, dst_ip, client_ip):
-        spec = getattr(box, "spec", None)
-        if spec is None or not spec.inspects_port(dst_port):
-            continue
-        if not box.in_scope(client_ip):
-            continue
-        domain = spec.matched_domain(payload)
-        if domain is not None:
-            verdict = ExpressVerdict(censored=True, domain=domain,
-                                     box=box, hop=hop)
-            break
+    if plans_enabled(network):
+        for hop, box, matcher, _blocklist in _http_plan(
+                network, client, dst_ip, client_ip, dst_port):
+            domain = matcher(payload)
+            if domain is not None:
+                verdict = ExpressVerdict(censored=True, domain=domain,
+                                         box=box, hop=hop)
+                break
+    else:
+        for hop, box in middleboxes_along(network, client, dst_ip, client_ip):
+            spec = getattr(box, "spec", None)
+            if spec is None or not spec.inspects_port(dst_port):
+                continue
+            if not box.in_scope(client_ip):
+                continue
+            domain = spec.matched_domain(payload)
+            if domain is not None:
+                verdict = ExpressVerdict(censored=True, domain=domain,
+                                         box=box, hop=hop)
+                break
     trace = network.trace
     if trace is not None and trace.active:
         trace.emit("probe", network.now, client=client.name, dst=dst_ip,
@@ -155,9 +266,16 @@ def express_canonical_probe(
     down one path.
     """
     client_ip = client_ip or client.ip
-    if boxes is None:
-        boxes = middleboxes_along(network, client, dst_ip, client_ip)
     wanted = domain.lower()
+    if boxes is None:
+        if plans_enabled(network):
+            for hop, box, _matcher, blocklist in _http_plan(
+                    network, client, dst_ip, client_ip, 80):
+                if wanted in blocklist:
+                    return ExpressVerdict(censored=True, domain=wanted,
+                                          box=box, hop=hop)
+            return NOT_CENSORED
+        boxes = middleboxes_along(network, client, dst_ip, client_ip)
     for hop, box in boxes:
         spec = getattr(box, "spec", None)
         if spec is None or not spec.inspects_port(80):
@@ -223,22 +341,36 @@ def express_dns_probe(
     Walks the path for inline DNS injectors first (they answer from
     mid-path), then consults the resolver service itself.
     """
-    try:
-        path = network.path_to(client, resolver_ip)
-    except RoutingError:
-        return NO_ANSWER
-    for node in path[1:-1]:
-        if isinstance(node, Router) and node.inline_middlebox is not None:
-            box = node.inline_middlebox
-            if isinstance(box, DNSInjectorMiddlebox):
-                bare = qname[4:] if qname.startswith("www.") else qname
-                if qname in box.blocklist or bare in box.blocklist:
-                    return ExpressDNSAnswer(
-                        responded=True,
-                        ips=(box.poison_strategy(qname),),
-                        rcode="NOERROR", injected=True, injector=box,
-                    )
-    service = resolver_service_at(network, resolver_ip)
+    if plans_enabled(network):
+        kind, injectors = _dns_plan(network, client, resolver_ip)
+        if kind == "unroutable":
+            return NO_ANSWER
+        bare = qname[4:] if qname.startswith("www.") else qname
+        for box in injectors:
+            if qname in box.blocklist or bare in box.blocklist:
+                return ExpressDNSAnswer(
+                    responded=True,
+                    ips=(box.poison_strategy(qname),),
+                    rcode="NOERROR", injected=True, injector=box,
+                )
+        service = resolver_service_at(network, resolver_ip)
+    else:
+        try:
+            path = network.path_to(client, resolver_ip)
+        except RoutingError:
+            return NO_ANSWER
+        for node in path[1:-1]:
+            if isinstance(node, Router) and node.inline_middlebox is not None:
+                box = node.inline_middlebox
+                if isinstance(box, DNSInjectorMiddlebox):
+                    bare = qname[4:] if qname.startswith("www.") else qname
+                    if qname in box.blocklist or bare in box.blocklist:
+                        return ExpressDNSAnswer(
+                            responded=True,
+                            ips=(box.poison_strategy(qname),),
+                            rcode="NOERROR", injected=True, injector=box,
+                        )
+        service = resolver_service_at(network, resolver_ip)
     if service is None:
         return NO_ANSWER
     config = service.config

@@ -99,6 +99,25 @@ class Middlebox:
         """Pure trigger check (used by the express probing layer)."""
         return self.spec.matched_domain(payload)
 
+    def express_profile(self, client_ip: str, dst_port: int = 80):
+        """This box's precompiled express-probe view, or None.
+
+        Returns ``(matcher, blocklist)`` when the box would inspect
+        traffic from *client_ip* to *dst_port* — ``matcher`` is the
+        trigger spec's bound ``matched_domain`` and ``blocklist`` its
+        live domain set.  Both read through to the spec, so mutating a
+        spec is visible without invalidating compiled plans; only
+        *path* changes (``topology_generation``) retire a plan.  The
+        express layer calls this once per (client, destination) and
+        then probes as a tight loop over the result.
+        """
+        spec = self.spec
+        if not spec.inspects_port(dst_port):
+            return None
+        if not self.in_scope(client_ip):
+            return None
+        return (spec.matched_domain, spec.blocklist)
+
     def flow_gate_open(self, record) -> bool:
         """Is this flow eligible for inspection?"""
         if not self.require_handshake:

@@ -9,14 +9,18 @@ fixed IP-ID values and sequence-number mismatches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from typing import Callable, Iterator, List, NamedTuple, Optional
 
 from .packets import Packet, TCPFlags
 
 
-@dataclass(frozen=True)
-class CaptureEntry:
-    """One captured packet: when, where, which direction."""
+class CaptureEntry(NamedTuple):
+    """One captured packet: when, where, which direction.
+
+    A NamedTuple rather than a frozen dataclass: captures record every
+    packet at every host, and a frozen dataclass pays an
+    ``object.__setattr__`` per field on construction.
+    """
 
     time: float
     node: str

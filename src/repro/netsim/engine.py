@@ -19,8 +19,8 @@ queue and the forwarding logic.  Forwarding implements:
 
 from __future__ import annotations
 
-import heapq
 import itertools
+import os
 import zlib
 from collections import Counter
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Tuple
@@ -40,7 +40,8 @@ from .faults import (
     FaultPlan,
     HardeningPolicy,
 )
-from .packets import Packet, make_time_exceeded
+from .packets import Packet, PacketPool, make_time_exceeded
+from .scheduler import make_scheduler
 from ..obs.trace import flow_id as _flow_id
 
 #: Default one-way link delay in (virtual) seconds.
@@ -58,6 +59,16 @@ DROPS_KEPT_MAX = 100_000
 #: cache (correctness is unaffected — entries are pure memoization).
 ECMP_HASH_CACHE_MAX = 1 << 20
 PATH_CACHE_MAX = 1 << 18
+FWD_PLAN_CACHE_MAX = 1 << 18
+
+#: Compiled forwarding-plan kinds (see :meth:`Network._plan_for`).
+_PLAN_LINK = 0
+_PLAN_LOCAL = 1
+_PLAN_NO_ROUTE = 2
+_PLAN_EXPRESS = 3
+
+#: The no-route plan carries no target; shared across all keys.
+_NO_ROUTE_PLAN = (_PLAN_NO_ROUTE, None, 0.0)
 
 #: Inline middlebox verdicts.
 FORWARD = "forward"
@@ -85,7 +96,7 @@ def _ecmp_hash(src_ip: Optional[str], dst_ip: str, node_name: str) -> int:
 class Network:
     """The simulated internetwork: topology, clock, events, forwarding."""
 
-    def __init__(self) -> None:
+    def __init__(self, *, scheduler: Optional[str] = None) -> None:
         self.graph = nx.Graph()
         self.nodes: Dict[str, Node] = {}
         self.ip_owner: Dict[str, Node] = {}
@@ -94,7 +105,15 @@ class Network:
         #: Drops not retained in :attr:`drops` once the list is full.
         self.drops_truncated = 0
         self._drop_counter: Counter = Counter()
-        self._queue: List[Tuple[float, int, Callable, tuple]] = []
+        #: Event scheduler: the slotted calendar queue by default, the
+        #: seed binary heap as the verbatim escape hatch.  Selected per
+        #: instance (``Network(scheduler="heap")``) or process-wide via
+        #: ``REPRO_SCHEDULER=heap`` — both orderings are byte-identical
+        #: (property-tested), so the hatch exists for differential
+        #: debugging, not correctness.
+        kind = scheduler or os.environ.get("REPRO_SCHEDULER") or "slots"
+        self._sched = make_scheduler(kind)
+        self._push = self._sched.push
         self._seq = itertools.count()
         self._dist_cache: Dict[str, Dict[str, float]] = {}
         self._events_processed = 0
@@ -110,10 +129,32 @@ class Network:
         #: (node name, dst_ip, src_ip) -> tuple of path Nodes.
         self._path_cache: Dict[Tuple[str, str, Optional[str]],
                                Tuple[Node, ...]] = {}
+        #: (node name, dst_ip, src_ip) -> compiled forwarding step —
+        #: the delivery plan consulted by :meth:`transmit` and
+        #: :meth:`_route_through` instead of re-deriving next hop and
+        #: link delay per packet.  Built lazily from :meth:`next_hop`
+        #: (so equivalence is by construction), invalidated with the
+        #: other routing caches.
+        self._fwd_plans: Dict[Tuple[str, str, Optional[str]], tuple] = {}
         #: Escape hatch for equivalence tests and benchmarks: when
         #: False, :meth:`next_hop`/:meth:`path_to` recompute from the
         #: graph every call (the seed implementation, byte for byte).
         self.routing_cache_enabled = True
+        #: Escape hatch for precompiled delivery plans at *both*
+        #: layers: the engine's per-(node, dst, src) forwarding plans
+        #: (including transit-hop fusion) and the express-probe plans
+        #: compiled by ``repro.core.measure.fastprobe``.  When False,
+        #: packets forward hop by hop over the cached FIB and express
+        #: probes re-walk the middlebox chain per call.
+        self.delivery_plans_enabled = True
+        #: Free-list reuse of TCP packet/segment pairs.  Toggled by
+        #: ``packet_pooling_enabled`` (or ``REPRO_PACKET_POOLING=0``);
+        #: pooling is invisible to results — recycled packets are fully
+        #: reset and the ip_id stream advances identically either way.
+        self.packet_pool = PacketPool()
+        pooling = os.environ.get("REPRO_PACKET_POOLING", "1")
+        self.packet_pooling_enabled = \
+            pooling.lower() not in ("0", "false", "no", "off")
         #: Installed by :meth:`install_faults`; ``None`` means a perfect
         #: network — the seed repo's behaviour, byte for byte.
         self.faults: Optional[FaultInjector] = None
@@ -140,6 +181,13 @@ class Network:
         self.flowhash_misses = 0
         self.path_cache_hits = 0
         self.path_cache_misses = 0
+        self.fwd_plan_hits = 0
+        self.fwd_plan_builds = 0
+        #: Express delivery-plan counters, maintained by
+        #: ``repro.core.measure.fastprobe`` (kept here so one scrape
+        #: covers the whole forwarding fast path).
+        self.express_plan_hits = 0
+        self.express_plan_builds = 0
         #: Hardened-client retry accounting: ``layer -> count``
         #: (clients bump it; same pattern as the drop counter).
         self.client_retries: Counter = Counter()
@@ -179,6 +227,7 @@ class Network:
         self._dist_cache.clear()
         self._fib.clear()
         self._path_cache.clear()
+        self._fwd_plans.clear()
 
     def add_node(self, node: Node) -> Node:
         """Attach a host or router to the network."""
@@ -220,6 +269,7 @@ class Network:
             # FIB itself is keyed per owner *node* and unaffected).
             self._generation += 1
             self._path_cache.clear()
+            self._fwd_plans.clear()
         self.ip_owner[ip] = node
 
     def link(self, a: str, b: str, delay: float = DEFAULT_LINK_DELAY) -> None:
@@ -244,51 +294,67 @@ class Network:
     # Event queue
     # ------------------------------------------------------------------
 
-    def call_later(self, delay: float, fn: Callable, *args) -> None:
-        """Schedule ``fn(*args)`` at ``now + delay``."""
+    @property
+    def scheduler(self) -> str:
+        """Active scheduler kind: ``"slots"`` or ``"heap"``."""
+        return self._sched.kind
+
+    @scheduler.setter
+    def scheduler(self, kind: str) -> None:
+        self.set_scheduler(kind)
+
+    def set_scheduler(self, kind: str) -> None:
+        """Switch scheduler implementations, migrating pending events.
+
+        Entry objects migrate as-is, so times, sequence numbers and any
+        outstanding cancellation handles all survive the switch.
+        """
+        if kind == self._sched.kind:
+            return
+        replacement = make_scheduler(kind)
+        for entry in self._sched.pop_all():
+            replacement.push_entry(entry)
+        self._sched = replacement
+        self._push = replacement.push
+
+    def call_later(self, delay: float, fn: Callable, *args) -> list:
+        """Schedule ``fn(*args)`` at ``now + delay``.
+
+        Returns an opaque handle accepted by :meth:`cancel_scheduled`.
+        """
         if delay < 0:
             raise SimulationError(f"negative delay: {delay}")
-        heapq.heappush(self._queue, (self.now + delay, next(self._seq), fn, args))
+        return self._push(self.now + delay, next(self._seq), fn, args)
 
-    def call_at(self, when: float, fn: Callable, *args) -> None:
+    def call_at(self, when: float, fn: Callable, *args) -> list:
         """Schedule ``fn(*args)`` at absolute virtual time *when*."""
         if when < self.now:
             raise SimulationError(f"cannot schedule in the past: {when} < {self.now}")
-        heapq.heappush(self._queue, (when, next(self._seq), fn, args))
+        return self._push(when, next(self._seq), fn, args)
+
+    def cancel_scheduled(self, handle: list) -> bool:
+        """Cancel a pending event by its ``call_later``/``call_at``
+        handle.  Returns False if it already ran or was cancelled.
+        Cancelled events are skipped without touching the event budget.
+        """
+        return self._sched.cancel(handle)
 
     def run(self, until: Optional[float] = None, max_events: int = 20_000_000) -> int:
         """Process events until the queue drains or *until* is reached.
 
         Returns the number of events processed by this call.  At most
         *max_events* events execute: the budget check runs *before*
-        each event, so a blown budget raises with exactly *max_events*
-        executed, never one more.
+        each event — per event, not per slot batch — so a blown budget
+        raises with exactly *max_events* executed, never one more.
         """
-        processed = 0
-        # Hot loop: hoist attribute lookups that are invariant across
-        # the run (the step hook is armed/disarmed only between runs).
-        queue = self._queue
-        pop = heapq.heappop
-        hook = self.step_hook
+        sched = self._sched
         try:
-            while queue:
-                when = queue[0][0]
-                if until is not None and when > until:
-                    break
-                if processed >= max_events:
-                    raise SimulationError(
-                        f"event budget exceeded ({max_events}); "
-                        f"likely a packet loop"
-                    )
-                when, _, fn, args = pop(queue)
-                if when > self.now:
-                    self.now = when
-                fn(*args)
-                processed += 1
-                if hook is not None:
-                    hook()
+            processed = sched.drain(self, until, max_events)
         finally:
-            self._events_processed += processed
+            # ``drained`` is valid even when the drain raised (budget,
+            # callback error, step-hook deadline), so partial progress
+            # is always accounted.
+            self._events_processed += sched.drained
         if until is not None and self.now < until:
             self.now = until
         return processed
@@ -299,7 +365,7 @@ class Network:
 
     @property
     def pending_events(self) -> int:
-        return len(self._queue)
+        return len(self._sched)
 
     @property
     def events_processed(self) -> int:
@@ -460,8 +526,118 @@ class Network:
     # Forwarding
     # ------------------------------------------------------------------
 
+    def _plan_for(self, from_node: Node, dst_ip: str,
+                  src_ip: Optional[str]) -> tuple:
+        """The compiled delivery plan from *from_node* for this flow.
+
+        Built once per (node, dst, src) from the same :meth:`next_hop`
+        the per-packet path uses, then served as two dict lookups — the
+        delivery-plan analogue of PR 4's FIB, one level higher.  Shapes:
+
+        * ``(_PLAN_LINK, next_node, delay)`` — single forwarding step.
+        * ``(_PLAN_EXPRESS, final_node, delays, n_transit, next_node,
+          delay)`` — a fused chain of pure-transit routers (no taps, no
+          inline middlebox): the packet can jump straight to
+          *final_node* (the owner host or the first router that
+          actually processes traffic).  ``delays`` are the per-link
+          delays in traversal order — accumulated left-to-right at use
+          time they reproduce the per-hop arrival float exactly, since
+          the seed advances ``now`` to each intermediate event's time
+          before adding the next delay.  The trailing ``next_node,
+          delay`` pair is the single-step fallback used when something
+          *can* observe intermediate hops (faults, an active trace, or
+          a TTL that would expire mid-chain).
+        * ``(_PLAN_LOCAL, owner, 0.0)`` — loopback delivery.
+        * ``_NO_ROUTE_PLAN``.
+
+        Plans are retired by :meth:`invalidate_routing_caches`, which
+        middlebox attachment also triggers (taps and inline boxes end a
+        transit chain, so their placement is part of the plan).
+        """
+        plans = self._fwd_plans
+        key = (from_node.name, dst_ip, src_ip)
+        plan = plans.get(key)
+        if plan is not None:
+            self.fwd_plan_hits += 1
+            return plan
+        self.fwd_plan_builds += 1
+        owner = self.ip_owner.get(dst_ip)
+        if owner is None:
+            plan = _NO_ROUTE_PLAN
+        elif owner is from_node:
+            plan = (_PLAN_LOCAL, owner, 0.0)
+        else:
+            nxt = self.next_hop(from_node, dst_ip, src_ip)
+            if nxt is None:
+                plan = _NO_ROUTE_PLAN
+            else:
+                edges = self.graph.edges
+                first_delay = edges[from_node.name, nxt.name]["delay"]
+                delays = [first_delay]
+                node = nxt
+                # Extend through pure-transit routers.  Stops at the
+                # owner, any host, a router with taps or an inline box,
+                # or a routing dead end (the final node then handles
+                # its own processing/drop exactly as per-hop would).
+                while (type(node) is Router and node is not owner
+                       and not node.taps and node.inline_middlebox is None
+                       and len(delays) < 64):
+                    following = self.next_hop(node, dst_ip, src_ip)
+                    if following is None:
+                        break
+                    delays.append(edges[node.name, following.name]["delay"])
+                    node = following
+                if len(delays) == 1:
+                    plan = (_PLAN_LINK, nxt, first_delay)
+                else:
+                    plan = (_PLAN_EXPRESS, node, tuple(delays),
+                            len(delays) - 1, nxt, first_delay)
+        if len(plans) >= FWD_PLAN_CACHE_MAX:
+            plans.clear()
+        plans[key] = plan
+        return plan
+
     def transmit(self, from_node: Node, packet: Packet) -> None:
         """Emit *packet* from *from_node* toward its destination."""
+        if self.routing_cache_enabled and self.delivery_plans_enabled:
+            plan = self._plan_for(from_node, packet.dst, packet.src)
+            kind = plan[0]
+            if kind == _PLAN_EXPRESS:
+                trace = self.trace
+                if (self.faults is None and packet.ttl > plan[3]
+                        and (trace is None or not trace.active)):
+                    when = self.now
+                    for delay in plan[2]:
+                        when += delay
+                    packet.ttl -= plan[3]
+                    # The skipped transit arrivals still count as
+                    # steps, so ``events_processed`` — and the
+                    # journal's per-unit "steps" — matches the per-hop
+                    # path (e.g. the same unit run under --trace).
+                    self._events_processed += plan[3]
+                    hook = self.step_hook
+                    if hook is not None:
+                        for _ in range(plan[3]):
+                            hook()
+                    self._push(when, next(self._seq),
+                               self._arrive, (plan[1], packet))
+                else:
+                    # Per-hop fallback: take one step; downstream
+                    # routers re-decide at their own plan.
+                    self._forward_link(from_node, plan[4], packet, plan[5])
+                return
+            if kind == _PLAN_LINK:
+                if self.faults is None:
+                    self._push(self.now + plan[2], next(self._seq),
+                               self._arrive, (plan[1], packet))
+                else:
+                    self._forward_link(from_node, plan[1], packet, plan[2])
+                return
+            if kind == _PLAN_LOCAL:
+                self.call_later(0.0, self._deliver_local, plan[1], packet)
+                return
+            self._drop("no-route", packet)
+            return
         owner = self.ip_owner.get(packet.dst)
         if owner is None:
             self._drop("no-route", packet)
@@ -485,19 +661,30 @@ class Network:
         under heavy loss cannot grow memory without limit.
         """
         self._drop_counter[reason] += 1
+        recyclable = False
         if len(self.drops) < DROPS_KEPT_MAX:
             self.drops.append((self.now, reason, packet))
         else:
             self.drops_truncated += 1
+            recyclable = True
         trace = self.trace
         if trace is not None and trace.active:
             trace.emit("drop", self.now, reason=reason,
                        flow=_flow_id(packet), dst=packet.dst)
+        if recyclable and self.packet_pooling_enabled:
+            # Truncated out of the drops list: nothing retains the
+            # packet anymore, so it can go back to the pool.
+            self.packet_pool.release(packet)
 
     def _forward_link(self, from_node: Node, to_node: Node,
-                      packet: Packet) -> None:
-        """Put *packet* on the link toward *to_node*, faults permitting."""
-        delay = self.graph.edges[from_node.name, to_node.name]["delay"]
+                      packet: Packet, delay: Optional[float] = None) -> None:
+        """Put *packet* on the link toward *to_node*, faults permitting.
+
+        *delay* may be passed in by a precompiled forwarding plan that
+        already knows the edge delay; when ``None`` it is looked up.
+        """
+        if delay is None:
+            delay = self.graph.edges[from_node.name, to_node.name]["delay"]
         if self.faults is not None:
             decision = self.faults.on_link(from_node.name, to_node.name,
                                            self.now)
@@ -522,7 +709,8 @@ class Network:
                 trace.emit("deliver", self.now, node=node.name,
                            flow=_flow_id(packet),
                            proto=packet.flow_key()[0])
-            node.deliver(packet, self.now)
+            if node.deliver(packet, self.now) and self.packet_pooling_enabled:
+                self.packet_pool.release(packet)
 
     def _arrive(self, node: Node, packet: Packet) -> None:
         """A packet arrives at *node*: terminate, or route onward."""
@@ -533,7 +721,9 @@ class Network:
                     trace.emit("deliver", self.now, node=node.name,
                                flow=_flow_id(packet),
                                proto=packet.flow_key()[0])
-                node.deliver(packet, self.now)
+                if (node.deliver(packet, self.now)
+                        and self.packet_pooling_enabled):
+                    self.packet_pool.release(packet)
             else:
                 # Hosts do not forward.
                 self._drop("host-not-dst", packet)
@@ -577,8 +767,12 @@ class Network:
                            flow=_flow_id(packet),
                            icmp=not router.anonymized)
             if not router.anonymized:
+                # The ICMP error quotes a *clone* of the offender, so
+                # the original can go back to the pool.
                 reply = make_time_exceeded(router.ip, packet)
                 self.transmit(router, reply)
+                if self.packet_pooling_enabled:
+                    self.packet_pool.release(packet)
             else:
                 self._drop(f"ttl-anon:{router.name}", packet)
             return
@@ -586,6 +780,41 @@ class Network:
         if router.owns_ip(packet.dst):
             # Routers terminate nothing in this model.
             self._drop("router-is-dst", packet)
+            return
+
+        if self.routing_cache_enabled and self.delivery_plans_enabled:
+            plan = self._plan_for(router, packet.dst, packet.src)
+            kind = plan[0]
+            if kind == _PLAN_EXPRESS:
+                if (self.faults is None and packet.ttl > plan[3]
+                        and (trace is None or not trace.active)):
+                    when = self.now
+                    for delay in plan[2]:
+                        when += delay
+                    packet.ttl -= plan[3]
+                    # Skipped transit arrivals still count as steps
+                    # (see :meth:`transmit`).
+                    self._events_processed += plan[3]
+                    hook = self.step_hook
+                    if hook is not None:
+                        for _ in range(plan[3]):
+                            hook()
+                    self._push(when, next(self._seq),
+                               self._arrive, (plan[1], packet))
+                else:
+                    self._forward_link(router, plan[4], packet, plan[5])
+                return
+            if kind == _PLAN_LINK:
+                if self.faults is None:
+                    self._push(self.now + plan[2], next(self._seq),
+                               self._arrive, (plan[1], packet))
+                else:
+                    self._forward_link(router, plan[1], packet, plan[2])
+                return
+            if kind == _PLAN_LOCAL:
+                self.call_later(0.0, self._deliver_local, plan[1], packet)
+                return
+            self._drop(f"no-route:{router.name}", packet)
             return
 
         nxt = self.next_hop(router, packet.dst, packet.src)

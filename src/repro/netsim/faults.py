@@ -268,6 +268,13 @@ class LinkDecision:
     extra_delay: float = 0.0
 
 
+#: Shared immutable-by-convention decision for fault-free links —
+#: :meth:`FaultInjector.on_link` returns it instead of allocating a
+#: fresh ``LinkDecision`` per packet.  Callers must treat it as
+#: read-only; every active-fault path below allocates its own.
+_CLEAN_DECISION = LinkDecision()
+
+
 class FaultInjector:
     """Executes a :class:`FaultPlan` with per-scope deterministic RNGs.
 
@@ -292,11 +299,17 @@ class FaultInjector:
     # -- links -----------------------------------------------------------
 
     def on_link(self, a: str, b: str, now: float) -> LinkDecision:
-        """Decide the fate of one packet traversing link *a*–*b*."""
+        """Decide the fate of one packet traversing link *a*–*b*.
+
+        Duplication contract for pooled packets: the injector only ever
+        *decides* to duplicate; the engine performs the copy with
+        ``packet.clone()``, a deep-enough copy, so a duplicate never
+        aliases a pool-recycled original.
+        """
         faults = self.plan.link_faults(a, b)
-        decision = LinkDecision()
         if not faults.active:
-            return decision
+            return _CLEAN_DECISION
+        decision = LinkDecision()
         if faults.down_at(now):
             decision.dropped = True
             decision.drop_reason = "fault-flap"

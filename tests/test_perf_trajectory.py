@@ -56,6 +56,22 @@ class TestRecord:
     def test_baseline_argument_defaults(self):
         assert perf_trajectory.DEFAULT_BASELINE == "BENCH_simulator.json"
 
+    def test_refresh_keeps_previous_cases(self, tmp_path):
+        baseline = tmp_path / "BENCH_simulator.json"
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.004}), str(baseline)])
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.002}), str(baseline)])
+        payload = json.loads(baseline.read_text())
+        assert payload["cases"] == {"test_sweep": 2000000.0}
+        assert payload["previous_cases"] == {"test_sweep": 4000000.0}
+
+    def test_fresh_baseline_has_no_previous_cases(self, tmp_path):
+        baseline = tmp_path / "BENCH_simulator.json"
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.002}), str(baseline)])
+        assert "previous_cases" not in json.loads(baseline.read_text())
+
 
 class TestCheck:
     def test_missing_baseline_suggests_record(self, tmp_path):
@@ -84,3 +100,72 @@ class TestCheck:
         with pytest.raises(SystemExit, match="no benchmarks"):
             perf_trajectory.main(["check", str(empty),
                                   str(tmp_path / "b.json")])
+
+    def test_reports_per_case_delta_percentage(self, tmp_path, capsys):
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.002}), baseline])
+        capsys.readouterr()
+        perf_trajectory.main([
+            "check", _raw(tmp_path, {"test_sweep": 0.003}), baseline])
+        assert "+50.0%" in capsys.readouterr().out
+
+
+class TestMinSpeedup:
+    def _refreshed(self, tmp_path, old, new):
+        """A baseline refreshed from *old* to *new* medians (seconds)."""
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": old}), baseline])
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": new}), baseline])
+        return baseline
+
+    def test_speedup_gate_passes(self, tmp_path, capsys):
+        baseline = self._refreshed(tmp_path, 0.004, 0.002)
+        status = perf_trajectory.main([
+            "check", _raw(tmp_path, {"test_sweep": 0.002}), baseline,
+            "--min-speedup", "test_sweep:2.0"])
+        assert status == 0
+        assert "2.00x over the previous baseline" in capsys.readouterr().out
+
+    def test_speedup_gate_fails_when_too_slow(self, tmp_path, capsys):
+        baseline = self._refreshed(tmp_path, 0.004, 0.002)
+        status = perf_trajectory.main([
+            "check", _raw(tmp_path, {"test_sweep": 0.003}), baseline,
+            "--min-speedup", "test_sweep:2.0"])
+        assert status == 1
+        assert "TOO-SLOW" in capsys.readouterr().out
+
+    def test_repeatable_gates(self, tmp_path):
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"a": 0.004, "b": 0.009}), baseline])
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"a": 0.001, "b": 0.003}), baseline])
+        status = perf_trajectory.main([
+            "check", _raw(tmp_path, {"a": 0.001, "b": 0.003}), baseline,
+            "--min-speedup", "a:2.0", "--min-speedup", "b:3.0"])
+        assert status == 0
+
+    def test_gate_without_previous_cases_is_an_error(self, tmp_path):
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.002}), baseline])
+        with pytest.raises(SystemExit, match="previous_cases"):
+            perf_trajectory.main([
+                "check", _raw(tmp_path, {"test_sweep": 0.002}), baseline,
+                "--min-speedup", "test_sweep:2.0"])
+
+    def test_malformed_gate_spec_rejected(self, tmp_path):
+        baseline = str(tmp_path / "BENCH_simulator.json")
+        perf_trajectory.main([
+            "record", _raw(tmp_path, {"test_sweep": 0.002}), baseline])
+        with pytest.raises(SystemExit, match="CASE:FACTOR"):
+            perf_trajectory.main([
+                "check", _raw(tmp_path, {"test_sweep": 0.002}), baseline,
+                "--min-speedup", "test_sweep"])
+        with pytest.raises(SystemExit, match="not a number"):
+            perf_trajectory.main([
+                "check", _raw(tmp_path, {"test_sweep": 0.002}), baseline,
+                "--min-speedup", "test_sweep:fast"])
