@@ -80,6 +80,39 @@ def test_slot_scheduler_fetch(benchmark, perf_world):
     assert ok == len(targets)
 
 
+def test_population_session_throughput(benchmark):
+    """Population-engine day: 50k sessions over a 100k-domain corpus.
+
+    Tracks sessions/second through the cohort-vectorized batch path
+    (Zipf draws, outcome classification, sketch updates — see
+    docs/POPULATION.md).  The in-bench floor is deliberately loose for
+    shared runners; the committed baseline case gives the real gate
+    via perf_trajectory check."""
+    from repro.population import PopulationConfig, PopulationEngine
+    from repro.websites.synthetic import SyntheticCorpus
+
+    sessions = 50_000
+    corpus = SyntheticCorpus(seed=1808, size=100_000)
+    config = PopulationConfig(seed=1808, corpus_size=100_000,
+                              sessions=sessions)
+
+    def run_day():
+        return PopulationEngine("idea", corpus=corpus,
+                                config=config).run()
+
+    start = time.perf_counter()
+    outcome = run_day()
+    elapsed = time.perf_counter() - start
+    assert sum(outcome.hourly) == sessions
+    assert outcome.blocked_total > 0
+    assert sessions / elapsed > 40_000, (
+        f"population engine at {sessions / elapsed:,.0f} sessions/s "
+        f"(floor 40,000)")
+
+    outcome = benchmark.pedantic(run_day, rounds=3, iterations=1)
+    assert sum(outcome.hourly) == sessions
+
+
 def test_packet_pool_express(benchmark):
     """Acquire/release cycle time of the packet pool's free list.
 

@@ -19,7 +19,8 @@ drops 5% of packets on every link, ``--fault-seed`` picks the
 deterministic fault schedule, ``--retries`` overrides how often the
 hardened clients retry, and ``--verbose`` prints drop/fault statistics
 after the command.  Experiments additionally honour
-``REPRO_BENCH_FRACTION``.
+``REPRO_BENCH_FRACTION``; the population-scale experiment honours
+``REPRO_POPULATION_SCALE`` (session-volume multiplier).
 
 ``campaign`` journals every measurement unit to
 ``<run-dir>/journal.jsonl`` and renders ``<run-dir>/tables.txt`` from
@@ -59,7 +60,8 @@ from .netsim.faults import DEFAULT_HARDENING, FaultPlan
 EXPERIMENTS = (
     "table1", "table2", "table3", "fig2", "fig5", "trigger",
     "dns-mechanism", "tcpip", "statefulness", "session-dynamics",
-    "evasion", "ooni-failures", "https", "idiosyncrasies",
+    "population-scale", "evasion", "ooni-failures", "https",
+    "idiosyncrasies",
 )
 
 

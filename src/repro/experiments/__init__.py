@@ -19,6 +19,7 @@ under ``benchmarks/`` and the examples call straight into these.
 | session_dynamics    | §4.2.1/§6.3 (session-table capacity/residual)  |
 | evasion_matrix      | §5 (anti-censorship effectiveness)             |
 | ooni_failures       | §3.1/§6.2 (anatomy of OONI's errors)           |
+| population_scale    | Table 2 / §5 at population scale (cohorts)     |
 """
 
 from . import (
@@ -30,6 +31,7 @@ from . import (
     https_filtering,
     idiosyncrasies,
     ooni_failures,
+    population_scale,
     session_dynamics,
     statefulness,
     table1_ooni,
@@ -58,6 +60,7 @@ EXPERIMENT_MODULES = {
     "tcpip": tcpip_filtering,
     "statefulness": statefulness,
     "session-dynamics": session_dynamics,
+    "population-scale": population_scale,
     "evasion": evasion_matrix,
     "ooni-failures": ooni_failures,
     "https": https_filtering,
@@ -78,6 +81,7 @@ __all__ = [
     "idiosyncrasies",
     "get_world",
     "ooni_failures",
+    "population_scale",
     "session_dynamics",
     "statefulness",
     "table1_ooni",

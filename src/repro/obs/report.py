@@ -168,6 +168,7 @@ def _deterministic_half(run: Dict) -> Dict:
         "quarantined": quarantined,
         "coverage": _coverage_deltas(run),
         "session": _session_table(run),
+        "population": _population_table(run),
         "drops": _drops(deterministic_metrics),
         "faults": _fault_summary(meta, deterministic_metrics),
         "trace": _trace_summary(run["trace_lines"]),
@@ -289,6 +290,28 @@ def _session_table(run: Dict) -> List[Dict]:
                 "overload": row[4] if row[4] != "-" else None,
                 "residual_window": _as_float(row[5]),
             })
+    return table
+
+
+def _population_table(run: Dict) -> List[Dict]:
+    """Per-ISP population-scale summaries (Table 2-style block rates).
+
+    Population-scale units carry a ``population`` payload key with the
+    aggregated day: sessions, blocked/leaked totals, per-category
+    counts and the sketch-sampled top blocked domains.  Entirely
+    deterministic (the engine is seeded and sketch merges are
+    canonical), so it lives in the deterministic half.  Pre-population
+    run directories simply have no such units.
+    """
+    table = []
+    for (experiment, unit), rec in sorted(run["units"].items()):
+        if experiment != "population-scale" or rec.get("status") not in (
+                "ok", "degraded"):
+            continue
+        payload = rec.get("payload") or {}
+        summary = payload.get("population")
+        if isinstance(summary, dict):
+            table.append(summary)
     return table
 
 
@@ -460,6 +483,56 @@ def render_markdown(data: Dict, run_dir: str = "") -> str:
                 f"{row['overload'] or '-'} | "
                 f"{_fmt_opt(row['residual_window'])} |")
         lines.append("")
+
+    population = det.get("population") or ()
+    if population:
+        lines += [
+            "## Population scale (per-category block rates)",
+            "",
+            "| ISP | mechanism | sessions | blocked | leaked | "
+            "block % | peak hour |",
+            "|---|---|---|---|---|---|---|",
+        ]
+        for row in population:
+            sessions = row.get("sessions") or 0
+            blocked = row.get("blocked") or 0
+            rate = round(100.0 * blocked / sessions, 2) if sessions else 0.0
+            lines.append(
+                f"| {row.get('isp')} | {row.get('mechanism')} | "
+                f"{sessions} | {blocked} | {row.get('leaked')} | "
+                f"{rate} | {row.get('peak_hour')}:00 |")
+        lines.append("")
+        by_category: Dict[str, List[int]] = {}
+        for row in population:
+            for entry in row.get("per_category") or ():
+                slot = by_category.setdefault(
+                    entry["category"], [0, 0])
+                slot[0] += entry.get("sessions", 0)
+                slot[1] += entry.get("blocked", 0)
+        if by_category:
+            lines += [
+                "### By category (all ISPs)",
+                "",
+                "| category | sessions | blocked | block % |",
+                "|---|---|---|---|",
+            ]
+            for category in sorted(by_category):
+                sessions, blocked = by_category[category]
+                rate = round(100.0 * blocked / sessions, 2) \
+                    if sessions else 0.0
+                lines.append(f"| {category} | {sessions} | {blocked} | "
+                             f"{rate} |")
+            lines.append("")
+        top: List[Tuple[str, int, str]] = []
+        for row in population:
+            for domain, count in row.get("top_blocked") or ():
+                top.append((domain, count, row.get("isp") or "?"))
+        top.sort(key=lambda item: (-item[1], item[0]))
+        if top:
+            lines += ["### Most-blocked sampled domains", ""]
+            lines += [f"- {domain} ({isp}): ~{count} sessions"
+                      for domain, count, isp in top[:5]]
+            lines.append("")
 
     drops = det["drops"]
     if drops:

@@ -1,0 +1,93 @@
+"""Cohort specifications: who browses, how much, and when.
+
+A cohort is a *class* of users within one ISP — residential evening
+browsers, office daytime traffic, always-on mobile users — described
+by its share of the ISP's sessions, the skew of its Zipf browsing mix,
+and a diurnal arrival profile.  Everything here is pure arithmetic:
+session totals are apportioned with the largest-remainder method, so
+per-cohort and per-hour counts always sum exactly to the requested
+total and are identical in every process (the property serial-vs-
+``--workers`` byte-identity rests on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+#: Relative session arrivals per hour-of-day (0..23), normalized at
+#: use.  Shapes follow the usual Indian consumer/enterprise traffic
+#: curves: residential peaks 20:00-23:00, office peaks 10:00-17:00,
+#: mobile is flatter with a late-evening bulge.
+DIURNAL_PROFILES: Dict[str, Tuple[float, ...]] = {
+    "residential": (
+        2, 1, 1, 1, 1, 2, 3, 4, 5, 5, 5, 5,
+        5, 5, 5, 5, 6, 7, 9, 11, 13, 14, 13, 9,
+    ),
+    "office": (
+        1, 1, 1, 1, 1, 1, 2, 4, 8, 12, 13, 13,
+        11, 13, 13, 12, 11, 9, 5, 3, 2, 2, 1, 1,
+    ),
+    "mobile": (
+        4, 3, 2, 2, 2, 3, 5, 7, 8, 8, 8, 9,
+        9, 8, 8, 8, 8, 9, 10, 11, 12, 12, 10, 7,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class CohortSpec:
+    """One user class: share of the ISP's sessions + behaviour knobs."""
+
+    name: str
+    #: Fraction of the ISP's sessions this cohort generates.
+    share: float
+    #: Zipf exponent of the domain-popularity browsing mix (higher =
+    #: more concentrated on popular domains).
+    zipf_s: float
+    #: Key into :data:`DIURNAL_PROFILES`.
+    diurnal: str
+
+    def __post_init__(self) -> None:
+        if self.diurnal not in DIURNAL_PROFILES:
+            raise ValueError(
+                f"unknown diurnal profile {self.diurnal!r}; "
+                f"known: {sorted(DIURNAL_PROFILES)}")
+
+
+#: The default population mix for every ISP.  Shares sum to 1.0.
+DEFAULT_COHORTS: Tuple[CohortSpec, ...] = (
+    CohortSpec("residential", 0.55, 1.02, "residential"),
+    CohortSpec("mobile", 0.35, 1.15, "mobile"),
+    CohortSpec("office", 0.10, 0.95, "office"),
+)
+
+
+def apportion(total: int, weights: Sequence[float]) -> List[int]:
+    """Split ``total`` across ``weights`` with the largest-remainder
+    method.
+
+    Deterministic (ties break on lowest index) and exact: the result
+    always sums to ``total``.  Used for sessions-per-cohort and
+    sessions-per-hour, so no session is ever lost to rounding.
+    """
+    if total < 0:
+        raise ValueError(f"cannot apportion a negative total ({total})")
+    weight_sum = sum(weights)
+    if weight_sum <= 0:
+        raise ValueError("weights must have a positive sum")
+    quotas = [total * weight / weight_sum for weight in weights]
+    counts = [int(quota) for quota in quotas]
+    shortfall = total - sum(counts)
+    # Largest fractional remainders get the leftover units; sort by
+    # (-remainder, index) so ties are stable across processes.
+    order = sorted(range(len(weights)),
+                   key=lambda i: (-(quotas[i] - counts[i]), i))
+    for i in order[:shortfall]:
+        counts[i] += 1
+    return counts
+
+
+def hourly_sessions(total: int, profile: str) -> List[int]:
+    """Sessions per hour-of-day for ``total`` sessions on a profile."""
+    return apportion(total, DIURNAL_PROFILES[profile])

@@ -172,6 +172,7 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
     record: Dict = {"type": "unit", "experiment": experiment,
                     "unit": unit.name, "payload": None,
                     "error": None, "timeout": None}
+    obs_snapshot: Optional[Dict] = None
     start = time.monotonic()
     world = (world_source(settings) if world_source is not None
              else build_unit_world(settings))
@@ -207,6 +208,14 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
             record["steps"] = watchdog.end_unit()
             raise PoisonUnitError(record, exc) from exc
     else:
+        if isinstance(payload, dict):
+            # Experiments may return a deterministic metrics snapshot
+            # alongside their rows (``payload["obs_metrics"]``, e.g.
+            # the population sketch counters).  Lift it out before
+            # journaling — it belongs in the metrics.json sidecar, and
+            # keeping it out of the journal keeps resume hashes and
+            # tables.txt unchanged for experiments that don't use it.
+            obs_snapshot = payload.pop("obs_metrics", None)
         errors = payload.get("errors") if isinstance(payload, dict) \
             else None
         record["status"] = "degraded" if errors else "ok"
@@ -216,6 +225,8 @@ def execute_unit(settings: UnitSettings, experiment: str, unit: Unit,
     record["steps"] = steps
     registry = MetricsRegistry()
     collect_world_metrics(registry, world, experiment=experiment)
+    if obs_snapshot:
+        registry.merge(obs_snapshot)
     if steps is not None:
         registry.histogram("campaign_unit_steps", STEP_BUCKETS,
                            experiment=experiment).observe(steps)

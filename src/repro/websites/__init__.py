@@ -31,6 +31,11 @@ from .corpus import (
     build_corpus,
 )
 from .hosting import HostingDeployment, deploy_corpus
+from .synthetic import (
+    DEFAULT_SYNTHETIC_SIZE,
+    MASTER_LIST_FRACTIONS,
+    SyntheticCorpus,
+)
 
 __all__ = [
     "AlexaSite",
@@ -41,10 +46,13 @@ __all__ = [
     "DEFAULT_ALEXA_SIZE",
     "DEFAULT_CORPUS_SEED",
     "DEFAULT_CORPUS_SIZE",
+    "DEFAULT_SYNTHETIC_SIZE",
     "DNS_BLOCKLIST_SIZES",
     "HTTP_BLOCKLIST_SIZES",
     "HostingDeployment",
+    "MASTER_LIST_FRACTIONS",
     "PARKING_PROVIDERS",
+    "SyntheticCorpus",
     "Website",
     "build_alexa_destinations",
     "build_blocklists",

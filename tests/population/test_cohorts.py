@@ -1,0 +1,60 @@
+"""Apportionment and diurnal schedules: exact, deterministic splits."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.population.cohorts import (CohortSpec, DEFAULT_COHORTS,
+                                      DIURNAL_PROFILES, apportion,
+                                      hourly_sessions)
+
+
+class TestApportion:
+    @settings(max_examples=60, deadline=None)
+    @given(total=st.integers(min_value=0, max_value=100_000),
+           weights=st.lists(st.floats(min_value=0.0, max_value=100.0),
+                            min_size=1, max_size=24))
+    def test_sums_exactly(self, total, weights):
+        if sum(weights) <= 0:
+            weights = weights + [1.0]
+        counts = apportion(total, weights)
+        assert sum(counts) == total
+        assert all(count >= 0 for count in counts)
+
+    def test_deterministic_tie_break(self):
+        # 1 unit across three equal weights: lowest index wins.
+        assert apportion(1, [1.0, 1.0, 1.0]) == [1, 0, 0]
+        assert apportion(2, [1.0, 1.0, 1.0]) == [1, 1, 0]
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError, match="negative"):
+            apportion(-1, [1.0])
+        with pytest.raises(ValueError, match="positive sum"):
+            apportion(5, [0.0, 0.0])
+
+
+class TestDiurnal:
+    def test_profiles_cover_24_hours(self):
+        for name, weights in DIURNAL_PROFILES.items():
+            assert len(weights) == 24, name
+            assert all(weight > 0 for weight in weights), name
+
+    def test_hourly_sessions_sum(self):
+        for name in DIURNAL_PROFILES:
+            hourly = hourly_sessions(12_345, name)
+            assert sum(hourly) == 12_345
+
+    def test_residential_peaks_in_the_evening(self):
+        hourly = hourly_sessions(100_000, "residential")
+        assert max(range(24), key=hourly.__getitem__) in (20, 21, 22)
+        office = hourly_sessions(100_000, "office")
+        assert max(range(24), key=office.__getitem__) in range(9, 18)
+
+
+class TestCohortSpec:
+    def test_default_shares_sum_to_one(self):
+        assert sum(cohort.share for cohort in DEFAULT_COHORTS) == \
+            pytest.approx(1.0)
+
+    def test_unknown_diurnal_rejected(self):
+        with pytest.raises(ValueError, match="diurnal"):
+            CohortSpec("x", 1.0, 1.0, "nocturnal")

@@ -1,0 +1,127 @@
+"""Sketches: accuracy bounds and the MetricsRegistry merge contract.
+
+The campaign metrics pipeline merges snapshots associatively in
+canonical commit order; any sketch that rides that pipeline must obey
+the same law, or serial and ``--workers N`` runs would diverge.  The
+hypothesis properties here pin associativity and commutativity for
+both sketches over arbitrary item streams.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.population.sketches import BottomKReservoir, CountMinSketch
+
+items = st.lists(st.integers(min_value=0, max_value=10_000), max_size=60)
+
+
+def _cms(stream, width=64, depth=3):
+    sketch = CountMinSketch(width=width, depth=depth, seed=9)
+    for item in stream:
+        sketch.add(item)
+    return sketch
+
+
+def _reservoir(stream, k=8):
+    sketch = BottomKReservoir(k=k, seed=9)
+    for item in stream:
+        sketch.offer(item)
+    return sketch
+
+
+class TestCountMin:
+    def test_never_undercounts(self):
+        sketch = _cms([1, 1, 1, 2, 3] * 10)
+        assert sketch.estimate(1) >= 30
+        assert sketch.estimate(2) >= 10
+        assert sketch.total == 50
+
+    def test_exact_when_sparse(self):
+        sketch = _cms([5] * 7 + [9] * 2, width=1024, depth=4)
+        assert sketch.estimate(5) == 7
+        assert sketch.estimate(9) == 2
+
+    def test_snapshot_json_round_trip(self):
+        sketch = _cms(range(40))
+        snap = json.loads(json.dumps(sketch.snapshot()))
+        clone = CountMinSketch.from_snapshot(snap)
+        assert clone.snapshot() == sketch.snapshot()
+        assert clone.estimate(17) == sketch.estimate(17)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            _cms([], width=64).merge(_cms([], width=32))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=items, b=items, c=items)
+    def test_merge_associative_and_commutative(self, a, b, c):
+        left = _cms(a)
+        left.merge(_cms(b))
+        left.merge(_cms(c))
+        bc = _cms(b)
+        bc.merge(_cms(c))
+        right = _cms(a)
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
+        swapped = _cms(b)
+        swapped.merge(_cms(a))
+        one_way = _cms(a)
+        one_way.merge(_cms(b))
+        assert swapped.snapshot() == one_way.snapshot()
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=items)
+    def test_merge_equals_single_stream(self, stream):
+        half = len(stream) // 2
+        merged = _cms(stream[:half])
+        merged.merge(_cms(stream[half:]))
+        assert merged.snapshot() == _cms(stream).snapshot()
+
+
+class TestBottomK:
+    def test_keeps_k_smallest_priorities_of_distinct_items(self):
+        sketch = _reservoir(range(100), k=8)
+        assert len(sketch.items()) == 8
+        # Re-offering is idempotent: the sample is over distinct items.
+        again = _reservoir(list(range(100)) * 3, k=8)
+        assert again.items() == sketch.items()
+
+    def test_snapshot_json_round_trip(self):
+        sketch = _reservoir(range(50))
+        snap = json.loads(json.dumps(sketch.snapshot()))
+        clone = BottomKReservoir.from_snapshot(snap)
+        assert clone.snapshot() == sketch.snapshot()
+        clone.offer(12345)
+        sketch.offer(12345)
+        assert clone.snapshot() == sketch.snapshot()
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="shapes"):
+            _reservoir([], k=4).merge(_reservoir([], k=8))
+
+    @settings(max_examples=40, deadline=None)
+    @given(a=items, b=items, c=items)
+    def test_merge_associative_and_commutative(self, a, b, c):
+        left = _reservoir(a)
+        left.merge(_reservoir(b))
+        left.merge(_reservoir(c))
+        bc = _reservoir(b)
+        bc.merge(_reservoir(c))
+        right = _reservoir(a)
+        right.merge(bc)
+        assert left.snapshot() == right.snapshot()
+        swapped = _reservoir(b)
+        swapped.merge(_reservoir(a))
+        one_way = _reservoir(a)
+        one_way.merge(_reservoir(b))
+        assert swapped.snapshot() == one_way.snapshot()
+
+    @settings(max_examples=40, deadline=None)
+    @given(stream=items)
+    def test_merge_equals_single_stream(self, stream):
+        half = len(stream) // 2
+        merged = _reservoir(stream[:half])
+        merged.merge(_reservoir(stream[half:]))
+        assert merged.snapshot() == _reservoir(stream).snapshot()

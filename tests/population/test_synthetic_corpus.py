@@ -1,0 +1,103 @@
+"""The lazy synthetic corpus: determinism, laziness, distributions."""
+
+import pytest
+
+from repro.websites.blocklists import CATEGORY_SENSITIVITY
+from repro.websites.categories import CATEGORIES, category_words
+from repro.websites.synthetic import (MASTER_LIST_FRACTIONS,
+                                      SyntheticCorpus, mix64)
+
+SAMPLE = 20_000
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return SyntheticCorpus(seed=1808, size=1_000_000)
+
+
+class TestLaziness:
+    def test_absurd_sizes_cost_nothing(self):
+        # A billion-domain corpus can only exist if nothing is
+        # materialized; attribute access must still work at any rank.
+        corpus = SyntheticCorpus(seed=1, size=10**9)
+        assert len(corpus) == 10**9
+        assert corpus.domain(10**9 - 1).startswith(
+            corpus.category(10**9 - 1)[:0] or "")
+        assert corpus.category(123_456_789) in CATEGORIES
+
+    def test_invalid_size_rejected(self):
+        with pytest.raises(ValueError, match="positive"):
+            SyntheticCorpus(seed=1, size=0)
+
+
+class TestDeterminism:
+    def test_attributes_pure_in_seed_and_rank(self, corpus):
+        twin = SyntheticCorpus(seed=1808, size=1_000_000)
+        for rank in (0, 1, 17, 999_999, 123_456):
+            assert corpus.domain(rank) == twin.domain(rank)
+            assert corpus.category(rank) == twin.category(rank)
+            assert corpus.in_master_list("airtel", rank) == \
+                twin.in_master_list("airtel", rank)
+
+    def test_seed_changes_everything(self, corpus):
+        other = SyntheticCorpus(seed=1809, size=1_000_000)
+        changed = sum(corpus.domain(rank) != other.domain(rank)
+                      for rank in range(500))
+        assert changed > 400
+
+    def test_mix64_is_hashseed_independent(self):
+        # Pinned values: if these move, every committed campaign
+        # table moves with them.
+        assert mix64(0) == 0
+        assert mix64(1) == 6238072747940578789
+        assert mix64(1808) == 13642903024565370253
+
+
+class TestDistributions:
+    def test_domains_unique_and_category_plausible(self, corpus):
+        seen = set()
+        for rank in range(2000):
+            domain = corpus.domain(rank)
+            assert domain not in seen
+            seen.add(domain)
+            word = domain.split("-", 1)[0]
+            assert word in category_words(corpus.category(rank))
+            assert f"-{rank}" in domain
+
+    def test_category_mix_tracks_corpus_weights(self, corpus):
+        counts = {name: 0 for name in CATEGORIES}
+        for rank in range(SAMPLE):
+            counts[corpus.category(rank)] += 1
+        total_weight = sum(weight for weight, _ in CATEGORIES.values())
+        for name, (weight, _) in CATEGORIES.items():
+            expected = weight / total_weight
+            assert counts[name] / SAMPLE == pytest.approx(expected,
+                                                          abs=0.02)
+
+
+class TestBlockingModel:
+    def test_master_fraction_matches_paper_share(self, corpus):
+        for isp in ("airtel", "vodafone", "mtnl"):
+            hits = sum(corpus.in_master_list(isp, rank)
+                       for rank in range(SAMPLE))
+            assert hits / SAMPLE == pytest.approx(
+                MASTER_LIST_FRACTIONS[isp], abs=0.02)
+
+    def test_porn_blocked_more_than_social(self, corpus):
+        by_cat = {"porn": [0, 0], "social": [0, 0]}
+        for rank in range(SAMPLE):
+            category = corpus.category(rank)
+            if category in by_cat:
+                by_cat[category][0] += 1
+                by_cat[category][1] += corpus.in_master_list("idea", rank)
+        porn_rate = by_cat["porn"][1] / by_cat["porn"][0]
+        social_rate = by_cat["social"][1] / by_cat["social"][0]
+        assert porn_rate > social_rate * 2
+        # The ordering comes from the committed sensitivities.
+        assert CATEGORY_SENSITIVITY["porn"] > CATEGORY_SENSITIVITY["social"]
+
+    def test_non_censoring_isp_blocks_nothing(self, corpus):
+        assert not any(corpus.in_master_list("nkn", rank)
+                       for rank in range(1000))
+        assert corpus.block_probability("nkn", 0) == 0.0
+        assert corpus.master_list_fraction("nkn") == 0.0

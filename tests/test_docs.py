@@ -13,7 +13,8 @@ _SPEC.loader.exec_module(check_docs)
 #: Every page docs/README.md must index.
 DOC_PAGES = ("OBSERVABILITY.md", "CAMPAIGNS.md", "FAULTS.md",
              "FUZZING.md", "PERFORMANCE.md", "PAPER_MAP.md",
-             "SERVICE.md")
+             "SERVICE.md", "SESSION_DYNAMICS.md", "POPULATION.md",
+             "ARCHITECTURE.md")
 
 
 def test_all_markdown_clean():
@@ -44,3 +45,31 @@ def test_cli_subcommand_introspection():
             "fetch", "evade", "trace", "serve"} <= set(known)
     assert {"--tenant", "--spool", "--cold-worlds"} <= known["serve"]
     assert "--resume" in known["campaign"]
+
+
+def test_every_package_is_indexed():
+    packages = check_docs.repro_packages()
+    assert {"netsim", "middlebox", "runner", "obs", "serve",
+            "population", "websites"} <= set(packages)
+    assert check_docs.check_package_index() == []
+
+
+def test_package_index_catches_missing_package(monkeypatch):
+    monkeypatch.setattr(check_docs, "repro_packages",
+                        lambda: ["netsim", "imaginarypkg"])
+    errors = check_docs.check_package_index()
+    assert len(errors) == 1
+    assert "repro.imaginarypkg" in errors[0]
+
+
+def test_documented_env_vars_exist_in_source():
+    known = check_docs.source_env_vars()
+    assert {"REPRO_BENCH_FRACTION", "REPRO_POPULATION_SCALE",
+            "REPRO_SCHEDULER", "REPRO_PACKET_POOLING"} <= known
+    # A doc mentioning a var the source doesn't define is flagged,
+    # with its line number.
+    errors = check_docs.check_env_vars(
+        os.path.join(REPO_ROOT, "docs", "FAKE.md"),
+        "line one\nset REPRO_NO_SUCH_KNOB=1\n", known)
+    assert errors == ["docs/FAKE.md:2: documented env var "
+                      "REPRO_NO_SUCH_KNOB does not appear in src/"]

@@ -1,6 +1,6 @@
 """Documentation consistency checker (run by the CI docs job).
 
-Two checks over the repository's Markdown:
+Four checks over the repository's Markdown:
 
 1. **Links resolve.**  Every intra-repo link target (relative path,
    ``#anchor`` stripped) must exist on disk.  External links
@@ -11,6 +11,13 @@ Two checks over the repository's Markdown:
    ahead of (or behind) the CLI.  Every ``--flag`` written on the same
    command line must be an option that subcommand actually takes, so a
    renamed or removed flag can't linger in the docs.
+3. **The docs index covers every package.**  Every top-level package
+   under ``src/repro/`` must be mentioned as ``repro.<pkg>`` in
+   ``docs/README.md``, so a new subsystem cannot ship without an
+   entry point in the documentation.
+4. **Documented env vars exist.**  Every ``REPRO_*`` token the docs
+   mention must appear somewhere in ``src/**/*.py`` — a renamed or
+   removed knob can't linger in the docs.
 
 Usage::
 
@@ -40,6 +47,7 @@ _FENCE = re.compile(r"```.*?```", re.DOTALL)
 _CODE_SPAN = re.compile(r"`[^`]+`")
 _CLI_REF = re.compile(r"(?:python -m\s+)?\brepro\s+([a-z][a-z-]*)")
 _FLAG = re.compile(r"(--[a-z][a-z-]*)")
+_ENV_VAR = re.compile(r"\bREPRO_[A-Z0-9_]+")
 
 
 def doc_paths() -> list:
@@ -115,15 +123,62 @@ def check_cli_refs(path: str, text: str, known: dict) -> list:
     return errors
 
 
+def repro_packages() -> list:
+    """Top-level packages under ``src/repro/`` (have ``__init__.py``)."""
+    root = os.path.join(REPO_ROOT, "src", "repro")
+    return sorted(
+        entry for entry in os.listdir(root)
+        if os.path.isfile(os.path.join(root, entry, "__init__.py")))
+
+
+def check_package_index() -> list:
+    """Packages ``docs/README.md`` forgot to mention."""
+    index_path = os.path.join(REPO_ROOT, "docs", "README.md")
+    with open(index_path, "r", encoding="utf-8") as fh:
+        index = fh.read()
+    return [
+        f"docs/README.md: package `repro.{pkg}` (src/repro/{pkg}/) "
+        f"is not mentioned in the docs index"
+        for pkg in repro_packages() if f"repro.{pkg}" not in index]
+
+
+def source_env_vars() -> set:
+    """Every ``REPRO_*`` token appearing in ``src/**/*.py``."""
+    found = set()
+    for dirpath, _dirnames, filenames in os.walk(
+            os.path.join(REPO_ROOT, "src")):
+        for filename in filenames:
+            if not filename.endswith(".py"):
+                continue
+            with open(os.path.join(dirpath, filename), "r",
+                      encoding="utf-8") as fh:
+                found.update(_ENV_VAR.findall(fh.read()))
+    return found
+
+
+def check_env_vars(path: str, text: str, known: set) -> list:
+    """Documented ``REPRO_*`` variables that no source file defines."""
+    rel = os.path.relpath(path, REPO_ROOT)
+    errors = []
+    for match in _ENV_VAR.finditer(text):
+        if match.group(0) not in known:
+            line = text[:match.start()].count("\n") + 1
+            errors.append(f"{rel}:{line}: documented env var "
+                          f"{match.group(0)} does not appear in src/")
+    return errors
+
+
 def main() -> int:
     known = cli_subcommands()
-    errors = []
+    env_known = source_env_vars()
+    errors = check_package_index()
     paths = doc_paths()
     for path in paths:
         with open(path, "r", encoding="utf-8") as fh:
             text = fh.read()
         errors.extend(check_links(path, text))
         errors.extend(check_cli_refs(path, text, known))
+        errors.extend(check_env_vars(path, text, env_known))
     for error in errors:
         print(error)
     if errors:
@@ -132,7 +187,8 @@ def main() -> int:
         return 1
     print(f"ok: {len(paths)} Markdown file(s), all links resolve, "
           f"all CLI references and flags exist "
-          f"({', '.join(sorted(known))})")
+          f"({', '.join(sorted(known))}), all {len(repro_packages())} "
+          f"packages indexed, all documented REPRO_* env vars exist")
     return 0
 
 
